@@ -1,0 +1,99 @@
+// Command shadowexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	shadowexp [-experiment all|table2|table3|area|fig8|fig9|fig10|fig11|fig12|adversarial]
+//	          [-duration-us N] [-warmup-us N] [-cores N] [-seed N]
+//
+// Durations default to the harness's quick settings; raise -duration-us for
+// higher-fidelity runs (the paper's windows are 32 ms = 32000 us).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shadow/internal/exp"
+	"shadow/internal/timing"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	durationUS := flag.Int("duration-us", 150, "simulated duration per point, microseconds")
+	warmupUS := flag.Int("warmup-us", 0, "simulated warmup per point, microseconds")
+	cores := flag.Int("cores", 4, "cores per multiprogrammed mix")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	format := flag.String("format", "text", "output format: text or csv")
+	chart := flag.Bool("chart", false, "also render performance figures as ASCII bar charts")
+	flag.Parse()
+
+	o := exp.RunOpts{
+		Duration: timing.Tick(*durationUS) * timing.Microsecond,
+		Warmup:   timing.Tick(*warmupUS) * timing.Microsecond,
+		Cores:    *cores,
+		Seed:     *seed,
+	}
+
+	type result struct {
+		table  *exp.Table
+		points []exp.PerfPoint
+	}
+	type runner func() (result, error)
+	perf := func(f func(exp.RunOpts) ([]exp.PerfPoint, *exp.Table, error)) runner {
+		return func() (result, error) {
+			pts, t, err := f(o)
+			return result{table: t, points: pts}, err
+		}
+	}
+	tableOnly := func(t *exp.Table, err error) (result, error) { return result{table: t}, err }
+	runners := map[string]runner{
+		"table2":    func() (result, error) { return tableOnly(exp.Table2(), nil) },
+		"table3":    func() (result, error) { return tableOnly(exp.Table3(), nil) },
+		"area":      func() (result, error) { return tableOnly(exp.AreaTable(), nil) },
+		"fig8":      perf(exp.Fig8),
+		"fig8sweep": perf(exp.Fig8Sweep),
+		"fig9":      perf(exp.Fig9),
+		"fig10":     perf(exp.Fig10),
+		"fig11":     perf(exp.Fig11),
+		"fig12": func() (result, error) {
+			_, t, err := exp.Fig12(o)
+			return result{table: t}, err
+		},
+		"adversarial": func() (result, error) {
+			_, t, err := exp.Adversarial(o)
+			return result{table: t}, err
+		},
+	}
+	order := []string{"table2", "table3", "area", "fig8", "fig8sweep", "fig9", "fig10", "fig11", "fig12", "adversarial"}
+
+	var names []string
+	if *experiment == "all" {
+		names = order
+	} else {
+		for _, n := range strings.Split(*experiment, ",") {
+			if _, ok := runners[n]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (choose from %s)\n", n, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+	for _, n := range names {
+		r, err := runners[n]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s\n%s\n", r.table.Title, r.table.CSV())
+		default:
+			fmt.Println(r.table)
+		}
+		if *chart && len(r.points) > 0 {
+			fmt.Println(exp.Chart(r.table.Title+" (chart)", r.points))
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command shadowsec runs the SHADOW security analysis (Section VII-A,
+// Appendix XI): closed-form bit-flip probabilities per attack scenario, the
+// secure RAAIMT search, and the Monte Carlo validation against the real
+// implementation.
+//
+// Usage:
+//
+//	shadowsec                       # Table II sweep
+//	shadowsec -hcnt 4096 -raaimt 64 # one configuration, per-scenario detail
+//	shadowsec -montecarlo           # empirical attack validation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shadow/internal/dram"
+	"shadow/internal/exp"
+	"shadow/internal/report"
+	"shadow/internal/security"
+	"shadow/internal/trace"
+)
+
+func main() {
+	hcnt := flag.Int("hcnt", 0, "Hammer count for a single-configuration report (0 = full table)")
+	raaimt := flag.Int("raaimt", 0, "RAAIMT for a single-configuration report (0 = secure value)")
+	monte := flag.Bool("montecarlo", false, "run the Monte Carlo attack validation")
+	trials := flag.Int("trials", 10, "Monte Carlo trials per pattern")
+	sweep := flag.Bool("sweep", false, "print the full RAAIMT x Hcnt security grid")
+	templating := flag.Bool("templating", false, "measure template-validity decay under shuffling")
+	flag.Parse()
+
+	switch {
+	case *monte:
+		runMonteCarlo(*trials)
+	case *sweep:
+		runSweep()
+	case *templating:
+		runTemplating()
+	case *hcnt > 0:
+		r := *raaimt
+		if r == 0 {
+			r = security.SecureRAAIMT(*hcnt)
+			if r == 0 {
+				fmt.Fprintf(os.Stderr, "no secure RAAIMT in [8,4096] for Hcnt %d\n", *hcnt)
+				os.Exit(1)
+			}
+		}
+		c := security.DefaultConfig(*hcnt, r)
+		fmt.Printf("Hcnt=%d RAAIMT=%d (rank-year probabilities)\n", *hcnt, r)
+		fmt.Printf("  scenario I   (birthday single-aggressor): %.3E\n", c.ScenarioI())
+		fmt.Printf("  scenario II  (multi-aggressor, one subarray): %.3E\n", c.ScenarioII())
+		fmt.Printf("  scenario III (multi-aggressor, cross-subarray): %.3E\n", c.ScenarioIII())
+		fmt.Printf("  worst case: %.3E  secure(<1%%): %v\n", c.BitFlipProbability(), c.Secure())
+	default:
+		fmt.Println(exp.Table2())
+		fmt.Println("Secure RAAIMT per Hcnt:")
+		for _, h := range []int{16384, 8192, 4096, 2048} {
+			fmt.Printf("  Hcnt %5d -> RAAIMT %d\n", h, security.SecureRAAIMT(h))
+		}
+	}
+}
+
+// runSweep prints the rank-year bit-flip probability over a fine grid.
+func runSweep() {
+	hcnts := []int{65536, 32768, 16384, 8192, 4096, 2048, 1024}
+	raaimts := []int{1024, 512, 256, 128, 64, 32, 16, 8}
+	fmt.Printf("%-8s", "RAAIMT")
+	for _, h := range hcnts {
+		fmt.Printf("  %8s", fmt.Sprintf("%dK", h/1024))
+	}
+	fmt.Println()
+	for _, r := range raaimts {
+		fmt.Printf("%-8d", r)
+		for _, h := range hcnts {
+			c := security.DefaultConfig(h, r)
+			p := c.BitFlipProbability()
+			cell := fmt.Sprintf("%.0E", p)
+			if p < 1e-99 {
+				cell = "~0"
+			}
+			if c.Secure() {
+				cell += "*"
+			}
+			fmt.Printf("  %8s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("* = secure (< 1%/rank-year)")
+}
+
+// runTemplating prints the template-validity decay curve.
+func runTemplating() {
+	points, err := security.MeasureTemplatingDecay(security.TemplatingConfig{
+		RowsPerSubarray: 128,
+		RAAIMT:          32,
+		Checkpoints:     []int64{0, 8, 16, 32, 64, 128, 256, 512},
+		Seed:            1,
+	})
+	exitOn(err)
+	fmt.Println("template validity vs shuffles (128-row subarray, RAAIMT 32):")
+	var values []float64
+	for _, p := range points {
+		fmt.Printf("  %5d shuffles: %5.1f%%\n", p.Shuffles, p.ValidFraction*100)
+		values = append(values, p.ValidFraction)
+	}
+	fmt.Println("  trend:", report.Sparkline(values))
+}
+
+func runMonteCarlo(trials int) {
+	base := security.MonteCarloConfig{
+		HCnt: 256, RAAIMT: 16, RowsPerSubarray: 32,
+		ActsPerTrial: 20000, Trials: trials,
+	}
+	patterns := []struct {
+		name string
+		mk   security.PatternFactory
+	}{
+		{"single-sided", func(trial int, g dram.Geometry) trace.Pattern {
+			return &trace.SingleSided{Bank: 0, Row: g.RowsPerSubarray / 2}
+		}},
+		{"double-sided", func(trial int, g dram.Geometry) trace.Pattern {
+			return &trace.DoubleSided{Bank: 0, Victim: g.RowsPerSubarray / 2}
+		}},
+		{"scenario-I", func(trial int, g dram.Geometry) trace.Pattern {
+			return trace.NewScenarioI(0, 1, base.RAAIMT, g, uint64(trial)+1)
+		}},
+		{"scenario-II", func(trial int, g dram.Geometry) trace.Pattern {
+			return trace.NewScenarioII(0, 1, 4, g, uint64(trial)+1)
+		}},
+		{"scenario-III", func(trial int, g dram.Geometry) trace.Pattern {
+			return trace.NewScenarioIII(0, 4, g, uint64(trial)+1)
+		}},
+	}
+	fmt.Printf("Monte Carlo (scaled device: Hcnt=%d RAAIMT=%d rows/subarray=%d, %d trials x %d ACTs)\n",
+		base.HCnt, base.RAAIMT, base.RowsPerSubarray, base.Trials, base.ActsPerTrial)
+	fmt.Printf("%-14s %-12s %-12s %s\n", "pattern", "baseline", "shadow", "shuffles")
+	for _, p := range patterns {
+		off := base
+		off.Shadow = false
+		on := base
+		on.Shadow = true
+		ro, err := security.RunMonteCarlo(off, p.mk)
+		exitOn(err)
+		rs, err := security.RunMonteCarlo(on, p.mk)
+		exitOn(err)
+		fmt.Printf("%-14s flips=%-6d flips=%-6d %d\n", p.name, ro.TotalFlips, rs.TotalFlips, rs.Shuffles)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

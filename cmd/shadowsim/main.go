@@ -1,0 +1,205 @@
+// Command shadowsim runs one system simulation: a workload on a DRAM rank
+// under a chosen Row Hammer mitigation, reporting performance and device
+// statistics.
+//
+// Usage:
+//
+//	shadowsim -scheme shadow -workload mix-high -hcnt 4096 -duration-us 200
+//	shadowsim -scheme baseline -workload mcf -grade ddr5
+//	shadowsim -list   # show available workloads and schemes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shadow/internal/cmdtrace"
+	"shadow/internal/dram"
+	"shadow/internal/exp"
+	"shadow/internal/hammer"
+	"shadow/internal/memctrl"
+	"shadow/internal/sim"
+	"shadow/internal/timing"
+	"shadow/internal/trace"
+)
+
+func main() {
+	scheme := flag.String("scheme", "shadow", "mitigation scheme")
+	workload := flag.String("workload", "mix-high", "workload: mix-high, mix-blend, mix-random, random-stream, a profile name, or replay:<file.csv>")
+	hcnt := flag.Int("hcnt", 4096, "Row Hammer threshold")
+	blast := flag.Int("blast", 3, "blast radius")
+	grade := flag.String("grade", "ddr4", "speed grade: ddr4 or ddr5")
+	cores := flag.Int("cores", 4, "cores for multiprogrammed mixes")
+	durationUS := flag.Int("duration-us", 200, "simulated duration, microseconds")
+	seed := flag.Uint64("seed", 1, "seed")
+	attack := flag.String("attack", "", "run an attack instead of a workload: single-sided, double-sided, blast, half-double")
+	verifyProtocol := flag.Bool("verify-protocol", false, "validate the MC's command stream with the independent JEDEC checker")
+	acts := flag.Int64("acts", 1<<16, "attack activation budget")
+	list := flag.Bool("list", false, "list workloads and schemes")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("schemes: baseline", strings.Join(schemeNames(), " "))
+		fmt.Println("workloads: mix-high mix-blend mix-random random-stream", strings.Join(trace.Names(), " "))
+		return
+	}
+
+	g := timing.DDR4_2666
+	if *grade == "ddr5" {
+		g = timing.DDR5_4800
+	}
+	o := exp.RunOpts{Duration: timing.Tick(*durationUS) * timing.Microsecond, Cores: *cores, Seed: *seed}
+	geo := o.Geometry(g)
+
+	if *attack != "" {
+		runAttack(*attack, exp.Scheme(*scheme), g, geo, *hcnt, *blast, *acts, *seed, o.Duration)
+		return
+	}
+
+	var profiles []trace.Profile
+	if !strings.HasPrefix(*workload, "replay:") {
+		var err error
+		profiles, err = resolveWorkload(*workload, *cores, geo)
+		exitOn(err)
+	}
+
+	var workloads []trace.Generator
+	var names []string
+	if strings.HasPrefix(*workload, "replay:") {
+		path := strings.TrimPrefix(*workload, "replay:")
+		f, err := os.Open(path)
+		exitOn(err)
+		events, err := trace.ReadEvents(f)
+		exitOn(err)
+		exitOn(f.Close())
+		if n := trace.ClampEvents(events, geo.Banks, geo.PARowsPerBank()); n > 0 {
+			fmt.Printf("note: folded %d events into the %d-bank/%d-row geometry\n", n, geo.Banks, geo.PARowsPerBank())
+		}
+		r, err := trace.NewReplay(path, events)
+		exitOn(err)
+		workloads = []trace.Generator{r}
+		names = []string{path}
+	} else {
+		workloads = trace.Generators(profiles, geo, *seed)
+		for _, p := range profiles {
+			names = append(names, p.Name)
+		}
+	}
+
+	pt := exp.Point{Scheme: exp.Scheme(*scheme), HCnt: *hcnt, Blast: *blast, Grade: g, Seed: *seed}
+	p, dm, mc := pt.Build(geo, o.Duration)
+	var checker *cmdtrace.Checker
+	var onCmd func(int, memctrl.Cmd)
+	if *verifyProtocol {
+		checker = cmdtrace.New(p, geo.Banks)
+		onCmd = func(ch int, c memctrl.Cmd) { checker.Observe(c) }
+	}
+	res, err := sim.Run(sim.Config{
+		Params: p, Geometry: geo, DeviceMit: dm, MCSide: mc,
+		Hammer:    hammer.Config{HCnt: *hcnt, BlastRadius: *blast},
+		Workload:  workloads,
+		Duration:  o.Duration,
+		OnCommand: onCmd,
+	})
+	exitOn(err)
+
+	fmt.Printf("scheme=%s workload=%s grade=%v hcnt=%d blast=%d duration=%v\n",
+		*scheme, *workload, g, *hcnt, *blast, o.Duration)
+	fmt.Printf("RAAIMT=%d tRCD'=%v tRFM=%v\n", p.RAAIMT, p.EffectiveRCD(), p.RFM)
+	for i, ipc := range res.IPC {
+		fmt.Printf("core %2d (%-12s): IPC %.3f inst/ns (%d instructions)\n",
+			i, names[i], ipc, res.Insts[i])
+	}
+	s := res.MC
+	fmt.Printf("MC: acts=%d reads=%d writes=%d pres=%d refs=%d rfms=%d swaps=%d\n",
+		s.Acts, s.Reads, s.Writes, s.Pres, s.Refs, s.RFMs, s.Swaps)
+	fmt.Printf("    row-hit rate %.1f%%, avg read latency %v, channel blocked %v\n",
+		s.RowHitRate()*100, s.AvgReadLatency(), s.BlockedTime)
+	d := res.Dev
+	fmt.Printf("device: row-copies=%d refreshed-rows=%d bit-flips=%d\n",
+		d.RowCopies, d.RefRows, res.Flips)
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			fmt.Printf("protocol: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("protocol: %d commands verified, 0 violations\n", checker.Commands())
+	}
+}
+
+// runAttack mounts a Row Hammer pattern against the configured device and
+// reports flips plus a full integrity scrub.
+func runAttack(pattern string, scheme exp.Scheme, g timing.Grade, geo dram.Geometry, hcnt, blast int, acts int64, seed uint64, duration timing.Tick) {
+	victim := geo.RowsPerSubarray / 2
+	var pat trace.Pattern
+	switch pattern {
+	case "single-sided":
+		pat = &trace.SingleSided{Bank: 0, Row: victim}
+	case "double-sided":
+		pat = &trace.DoubleSided{Bank: 0, Victim: victim}
+	case "blast":
+		pat = trace.Blast(0, victim, 2)
+	case "half-double":
+		pat = &trace.HalfDouble{Bank: 0, Victim: victim}
+	default:
+		exitOn(fmt.Errorf("unknown attack %q", pattern))
+	}
+	pt := exp.Point{Scheme: scheme, HCnt: hcnt, Blast: blast, Grade: g, Seed: seed}
+	p, dm, mcside := pt.Build(geo, duration)
+	res, err := sim.RunAttack(sim.AttackConfig{
+		Params:    p,
+		Geometry:  geo,
+		Hammer:    hammer.Config{HCnt: hcnt, BlastRadius: blast},
+		DeviceMit: dm,
+		MCSide:    mcside,
+		MaxActs:   acts,
+		Duration:  timing.Forever / 2,
+	}, pat)
+	exitOn(err)
+	fmt.Printf("attack=%s scheme=%s hcnt=%d blast=%d\n", pat.Name(), scheme, hcnt, blast)
+	fmt.Printf("activations: %d over %v (%d RFMs)\n", res.Acts, res.Elapsed, res.MC.RFMs)
+	rep := res.Device.Scrub()
+	fmt.Printf("scrub: %d rows checked, %d corrupted rows, %d flipped bits\n",
+		rep.RowsChecked, rep.CorruptedRows, rep.CorruptedBits)
+	if rep.CorruptedRows == 0 {
+		fmt.Println("result: device integrity intact")
+	} else {
+		fmt.Println("result: ROW HAMMER CORRUPTION")
+	}
+}
+
+func resolveWorkload(name string, cores int, geo interface{ PARowsPerBank() int }) ([]trace.Profile, error) {
+	switch name {
+	case "mix-high":
+		return trace.MixHigh(cores), nil
+	case "mix-blend":
+		return trace.MixBlend(cores), nil
+	case "mix-random":
+		return trace.MixRandom(cores, 20230223), nil
+	case "random-stream":
+		return []trace.Profile{{Name: "random-stream", MPKI: 200, RowLocality: 0, WriteFrac: 0.2}}, nil
+	default:
+		p, err := trace.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return []trace.Profile{p}, nil
+	}
+}
+
+func schemeNames() []string {
+	out := make([]string, len(exp.AllSchemes))
+	for i, s := range exp.AllSchemes {
+		out[i] = string(s)
+	}
+	return out
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+// Command shadowtrace generates and inspects workload traces and attack
+// patterns.
+//
+// Usage:
+//
+//	shadowtrace -list
+//	shadowtrace -profile mcf -n 20        # dump 20 events
+//	shadowtrace -profile mcf -summary     # access statistics over 100k events
+//	shadowtrace -attack double-sided -n 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shadow/internal/dram"
+	"shadow/internal/trace"
+)
+
+func main() {
+	profile := flag.String("profile", "", "workload profile to generate")
+	attack := flag.String("attack", "", "attack pattern: single-sided, double-sided, blast, scenario-1/2/3")
+	n := flag.Int("n", 20, "events to dump")
+	summary := flag.Bool("summary", false, "print statistics instead of raw events")
+	export := flag.String("export", "", "write events as CSV to this file (use with -profile and -n)")
+	seed := flag.Uint64("seed", 1, "seed")
+	list := flag.Bool("list", false, "list profiles")
+	flag.Parse()
+
+	geo := dram.DefaultGeometry(false)
+	switch {
+	case *list:
+		fmt.Println("profiles:", strings.Join(trace.Names(), " "))
+		fmt.Println("attacks: single-sided double-sided blast scenario-1 scenario-2 scenario-3")
+	case *attack != "":
+		pat, err := mkAttack(*attack, geo, *seed)
+		exitOn(err)
+		fmt.Printf("# attack %s: bank,row per activation\n", pat.Name())
+		for i := 0; i < *n; i++ {
+			bank, row := pat.NextRow()
+			fmt.Printf("%d,%d\n", bank, row)
+		}
+	case *profile != "":
+		p, err := trace.ProfileByName(*profile)
+		exitOn(err)
+		gen := trace.NewSynth(p, geo, *seed)
+		if *export != "" {
+			f, err := os.Create(*export)
+			exitOn(err)
+			exitOn(trace.WriteEvents(f, gen, *n))
+			exitOn(f.Close())
+			fmt.Printf("wrote %d events of %s to %s\n", *n, p.Name, *export)
+			return
+		}
+		if *summary {
+			printSummary(gen, geo)
+			return
+		}
+		fmt.Printf("# %s: gap,bank,row,col,write\n", p.Name)
+		for i := 0; i < *n; i++ {
+			e := gen.Next()
+			fmt.Printf("%d,%d,%d,%d,%v\n", e.Gap, e.Bank, e.Row, e.Col, e.Write)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mkAttack(name string, geo dram.Geometry, seed uint64) (trace.Pattern, error) {
+	victim := geo.RowsPerSubarray / 2
+	switch name {
+	case "single-sided":
+		return &trace.SingleSided{Bank: 0, Row: victim}, nil
+	case "double-sided":
+		return &trace.DoubleSided{Bank: 0, Victim: victim}, nil
+	case "blast":
+		return trace.Blast(0, victim, 2), nil
+	case "scenario-1":
+		return trace.NewScenarioI(0, 0, 64, geo, seed), nil
+	case "scenario-2":
+		return trace.NewScenarioII(0, 0, 8, geo, seed), nil
+	case "scenario-3":
+		return trace.NewScenarioIII(0, 8, geo, seed), nil
+	}
+	return nil, fmt.Errorf("unknown attack %q", name)
+}
+
+func printSummary(gen *trace.Synth, geo dram.Geometry) {
+	const events = 100000
+	banks := map[int]int{}
+	rows := map[[2]int]int{}
+	var gaps, writes, sameRow int
+	prev := [2]int{-1, -1}
+	for i := 0; i < events; i++ {
+		e := gen.Next()
+		banks[e.Bank]++
+		rows[[2]int{e.Bank, e.Row}]++
+		gaps += e.Gap
+		if e.Write {
+			writes++
+		}
+		cur := [2]int{e.Bank, e.Row}
+		if cur == prev {
+			sameRow++
+		}
+		prev = cur
+	}
+	hottest := 0
+	for _, c := range rows {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	p := gen.Profile()
+	fmt.Printf("profile %s over %d events:\n", p.Name, events)
+	fmt.Printf("  mean gap          %.1f insts (target %.1f)\n", float64(gaps)/events, 1000/p.MPKI)
+	fmt.Printf("  row locality      %.3f (target %.2f)\n", float64(sameRow)/events, p.RowLocality)
+	fmt.Printf("  write fraction    %.3f (target %.2f)\n", float64(writes)/events, p.WriteFrac)
+	fmt.Printf("  banks touched     %d/%d\n", len(banks), geo.Banks)
+	fmt.Printf("  distinct rows     %d\n", len(rows))
+	fmt.Printf("  hottest row count %d (skew from HotFrac %.2f over %d rows)\n", hottest, p.HotFrac, p.HotRows)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,45 @@
+// Templating: show why memory templating — the reconnaissance phase of every
+// precision Row Hammer attack — fails against SHADOW (Sections II-C, III-A).
+//
+// An attacker first builds a *template*: a map of which physical addresses
+// are DRAM-adjacent, obtained by timing side channels or reverse
+// engineering. Against a static mapping the template stays valid forever.
+// SHADOW shuffles rows on every RFM, so the template rots while the attacker
+// is still using it.
+//
+//	go run ./examples/templating
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"shadow/internal/security"
+)
+
+func main() {
+	points, err := security.MeasureTemplatingDecay(security.TemplatingConfig{
+		RowsPerSubarray: 128,
+		RAAIMT:          32,
+		Checkpoints:     []int64{0, 8, 16, 32, 64, 128, 256, 512},
+		Seed:            2023,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Template validity under SHADOW (128-row subarray, RAAIMT 32)")
+	fmt.Println("fraction of initially adjacent PA pairs still physically adjacent:")
+	fmt.Println()
+	for _, p := range points {
+		bar := strings.Repeat("#", int(p.ValidFraction*50+0.5))
+		fmt.Printf("%5d shuffles  %5.1f%%  %s\n", p.Shuffles, p.ValidFraction*100, bar)
+	}
+	fmt.Println()
+	fmt.Println("Each shuffle takes one RFM (every RAAIMT = 32 activations), so a busy")
+	fmt.Println("subarray invalidates an attacker's template in well under a millisecond —")
+	fmt.Println("before a templated double-sided attack can accumulate even a fraction of")
+	fmt.Println("H_cnt activations. This is the paper's Section III-A argument: known")
+	fmt.Println("precision attacks need adjacency knowledge that SHADOW keeps destroying.")
+}

@@ -1,0 +1,3 @@
+module shadow
+
+go 1.22

@@ -1,0 +1,144 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"shadow/internal/timing"
+)
+
+func eval(t *testing.T) Results {
+	t.Helper()
+	p := timing.NewParams(timing.DDR4_2666)
+	return DefaultModel().Evaluate(p)
+}
+
+// TestTableIIIValues checks every row of the paper's Table III against the
+// analytical model, with tolerances reflecting first-order modelling.
+func TestTableIIIValues(t *testing.T) {
+	r := eval(t)
+	cases := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"tRCD baseline", r.TRCDBaseline, 13.7, 0.5},
+		{"tRCD' (SHADOW activation)", r.TRCDShadow, 17.7, 0.7},
+		{"row copy w/ precharge", r.RowCopy, 73.9, 3.0},
+		{"tRCD_RM (remap sensing)", r.TRCDRM, 2.3, 0.3},
+		{"tWR_RM (remap write recovery)", r.TWRRM, 9.0, 0.5},
+		{"tWR baseline", r.TWRBaseline, 11.8, 0.5},
+		{"tRD_RM (remap read latency)", r.TRDRM, 4.0, 0.4},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s = %.2fns, want %.1f±%.1fns", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+// TestTableIIIRatios checks the ratio column of Table III: tRCD' is ~+29%,
+// remapping-row sensing is ~-83%, write recovery ~-24%, read latency ~-71%.
+func TestTableIIIRatios(t *testing.T) {
+	r := eval(t)
+	cases := []struct {
+		name      string
+		num, den  float64
+		want, tol float64
+	}{
+		{"tRCD' ratio", r.TRCDShadow, r.TRCDBaseline, 1.29, 0.05},
+		{"tRCD_RM ratio", r.TRCDRM, r.TRCDBaseline, 0.17, 0.03},
+		{"tWR_RM ratio", r.TWRRM, r.TWRBaseline, 0.76, 0.05},
+		{"tRD_RM ratio", r.TRDRM, r.TRCDBaseline, 0.29, 0.04},
+	}
+	for _, c := range cases {
+		got := c.num / c.den
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s = %.3f, want %.2f±%.2f", c.name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestCapacitanceReduction(t *testing.T) {
+	m := DefaultModel()
+	if got := m.CapacitanceReduction(); got < 100 {
+		t.Errorf("isolation capacitance reduction = %.0fx, paper requires >100x", got)
+	}
+}
+
+func TestDATraversalUnderOneNS(t *testing.T) {
+	// Paper: "the wire delay for DA traversal is less than 1ns".
+	r := eval(t)
+	if r.DATraversal >= 1.0 {
+		t.Errorf("DA traversal = %.2fns, want < 1ns", r.DATraversal)
+	}
+	if r.DATraversal <= 0 {
+		t.Errorf("DA traversal = %.2fns, want positive", r.DATraversal)
+	}
+}
+
+// TestSenseTimeMonotonicity: more bitline capacitance -> smaller ΔV ->
+// longer sensing. The model must be monotonic for the isolation-transistor
+// argument to hold at any segment size.
+func TestSenseTimeMonotonicity(t *testing.T) {
+	m := DefaultModel()
+	prev := -1.0
+	for cells := 1; cells <= m.CellsPerBitline; cells *= 2 {
+		st := m.SenseTime(m.bitlineFF(cells))
+		if st <= prev {
+			t.Fatalf("SenseTime not increasing at %d cells: %.3f <= %.3f", cells, st, prev)
+		}
+		prev = st
+	}
+}
+
+func TestChargeShareDV(t *testing.T) {
+	m := DefaultModel()
+	full := m.ChargeShareDV(m.bitlineFF(m.CellsPerBitline))
+	iso := m.ChargeShareDV(m.bitlineFF(m.IsoSegmentCells))
+	if full >= iso {
+		t.Fatalf("ΔV full bitline (%.3fV) should be below isolated (%.3fV)", full, iso)
+	}
+	if iso >= m.VDD/2 {
+		t.Fatalf("ΔV cannot exceed half-swing: %.3fV", iso)
+	}
+	// Isolated remapping-row should develop nearly the full half-swing.
+	if iso < 0.9*m.VDD/2 {
+		t.Fatalf("isolated ΔV = %.3fV, want >= 90%% of half-swing", iso)
+	}
+}
+
+func TestShadowTimingsConversion(t *testing.T) {
+	p := timing.NewParams(timing.DDR4_2666)
+	st := DefaultShadowTimings(p)
+	if st.RDRM <= 0 || st.RCDRM <= 0 || st.WRRM <= 0 || st.RowCopy <= 0 {
+		t.Fatalf("non-positive shadow timings: %+v", st)
+	}
+	sp := p.WithShadow(st)
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("shadow params invalid: %v", err)
+	}
+	// tRCD' must land near 17.7ns per Table III.
+	if got := sp.EffectiveRCD().Nanoseconds(); math.Abs(got-17.7) > 1.0 {
+		t.Fatalf("EffectiveRCD = %.2fns, want ~17.7ns", got)
+	}
+}
+
+func TestResultsString(t *testing.T) {
+	s := eval(t).String()
+	for _, frag := range []string{"tRCD'", "tRCD_RM", "tWR_RM", "tRD_RM", "Row copy"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("table rendering missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestSenseTimeSaturates(t *testing.T) {
+	m := DefaultModel()
+	// With zero bitline capacitance ΔV hits the target and only the fixed
+	// overhead remains.
+	if got := m.SenseTime(0); got != m.SenseBase {
+		t.Fatalf("SenseTime(0) = %.2f, want SenseBase %.2f", got, m.SenseBase)
+	}
+}

@@ -1,0 +1,340 @@
+package dram
+
+import (
+	"fmt"
+
+	"shadow/internal/hammer"
+	"shadow/internal/timing"
+)
+
+// Mitigator is the in-DRAM protection hook. The device consults it to
+// translate MC-visible PA rows to device rows on every ACT and hands it the
+// RFM commands the MC issues. The identity mitigator (an unprotected device)
+// is the zero behaviour; package shadow provides the paper's contribution
+// and package mitigate the DRAM-side baselines (PARFM, Mithril).
+type Mitigator interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Translate maps a PA row of a bank to the (subarray, DA row) that
+	// currently holds its data.
+	Translate(b *Bank, paRow int) (sub, da int)
+	// OnACT observes every MC-issued activation (after translation).
+	OnACT(b *Bank, paRow, sub, da int, now timing.Tick)
+	// OnRFM performs the scheme's mitigating action for an RFM command on
+	// bank b. The bank is precharged and will be held busy for tRFM.
+	OnRFM(b *Bank, now timing.Tick)
+}
+
+// Identity is the unprotected device's translation: PA row i lives at
+// subarray i/512, row i%512, forever.
+type Identity struct{}
+
+// Name implements Mitigator.
+func (Identity) Name() string { return "baseline" }
+
+// Translate implements Mitigator.
+func (Identity) Translate(b *Bank, paRow int) (int, int) {
+	return b.geo.SubarrayOf(paRow)
+}
+
+// OnACT implements Mitigator.
+func (Identity) OnACT(*Bank, int, int, int, timing.Tick) {}
+
+// OnRFM implements Mitigator.
+func (Identity) OnRFM(*Bank, timing.Tick) {}
+
+// FlipRecord is a bit flip observed anywhere in the device.
+type FlipRecord struct {
+	Bank, Sub, DA int
+	Flip          hammer.Flip
+}
+
+// Device models one DRAM rank.
+type Device struct {
+	geo   Geometry
+	p     *timing.Params
+	banks []*Bank
+	mit   Mitigator
+
+	refRowsPerREF int
+	flips         []FlipRecord
+
+	// Stats aggregated over banks plus rank-level commands.
+	Refs int64
+}
+
+// Config bundles device construction parameters.
+type Config struct {
+	Geometry Geometry
+	Params   *timing.Params
+	Hammer   hammer.Config
+	// Mitigator defaults to Identity when nil.
+	Mitigator Mitigator
+}
+
+// NewDevice builds a rank.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Hammer.HCnt <= 0 || cfg.Hammer.BlastRadius <= 0 {
+		return nil, fmt.Errorf("dram: invalid hammer config %+v", cfg.Hammer)
+	}
+	mit := cfg.Mitigator
+	if mit == nil {
+		mit = Identity{}
+	}
+	d := &Device{
+		geo:   cfg.Geometry,
+		p:     cfg.Params,
+		banks: make([]*Bank, cfg.Geometry.Banks),
+		mit:   mit,
+	}
+	// Auto-refresh must cover every DA row once per tREFW: rows per REF =
+	// ceil(rows / (REFW/REFI)).
+	slots := int(cfg.Params.REFW / cfg.Params.REFI)
+	if slots <= 0 {
+		slots = 1
+	}
+	d.refRowsPerREF = (cfg.Geometry.DARowsPerBank() + slots - 1) / slots
+	for i := range d.banks {
+		b := newBank(i, cfg.Geometry, cfg.Params, cfg.Hammer)
+		b.flipSink = func(bankID, sub, da int, f hammer.Flip) {
+			d.flips = append(d.flips, FlipRecord{Bank: bankID, Sub: sub, DA: da, Flip: f})
+		}
+		d.banks[i] = b
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice that panics on configuration errors, for tests
+// and examples with known-good configs.
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Geometry returns the rank geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Params returns the timing parameters.
+func (d *Device) Params() *timing.Params { return d.p }
+
+// Mitigator returns the installed protection scheme.
+func (d *Device) Mitigator() Mitigator { return d.mit }
+
+// Bank returns bank i.
+func (d *Device) Bank(i int) *Bank { return d.banks[i] }
+
+// Banks returns the number of banks.
+func (d *Device) Banks() int { return len(d.banks) }
+
+// RowsPerREF returns how many rows each bank refreshes per REF command.
+func (d *Device) RowsPerREF() int { return d.refRowsPerREF }
+
+// Activate opens PA row paRow of bank at time now, translating through the
+// mitigator.
+func (d *Device) Activate(bank, paRow int, now timing.Tick) error {
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
+	if paRow < 0 || paRow >= d.geo.PARowsPerBank() {
+		return fmt.Errorf("dram: PA row %d out of range [0,%d)", paRow, d.geo.PARowsPerBank())
+	}
+	b := d.banks[bank]
+	sub, da := d.translate(b, paRow)
+	if err := b.Activate(sub, da, now); err != nil {
+		return err
+	}
+	d.mit.OnACT(b, paRow, sub, da, now)
+	return nil
+}
+
+// Read performs a column read on bank's open row.
+func (d *Device) Read(bank int, now timing.Tick) error {
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
+	return d.banks[bank].Read(now)
+}
+
+// Write performs a column write on bank's open row.
+func (d *Device) Write(bank int, now timing.Tick) error {
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
+	return d.banks[bank].Write(now)
+}
+
+// Precharge closes bank's open row.
+func (d *Device) Precharge(bank int, now timing.Tick) error {
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
+	return d.banks[bank].Precharge(now)
+}
+
+// Refresh executes an all-bank auto-refresh (REF): every bank refreshes its
+// next RowsPerREF rows and the rank is busy for tRFC. All banks must be
+// precharged.
+func (d *Device) Refresh(now timing.Tick) error {
+	for _, b := range d.banks {
+		if b.open {
+			return &TimingError{Cmd: "REF (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt}
+		}
+	}
+	for _, b := range d.banks {
+		if err := b.AutoRefresh(d.refRowsPerREF, now, d.p.RFC); err != nil {
+			return err
+		}
+	}
+	d.Refs++
+	return nil
+}
+
+// RefreshBank executes a DDR5 same-bank refresh (REFsb): only the named
+// bank refreshes its next RowsPerREF rows and is busy for tRFCsb; other
+// banks keep serving. Unsupported (tRFCsb = 0) parameter sets reject it.
+func (d *Device) RefreshBank(bank int, now timing.Tick) error {
+	if d.p.RFCsb <= 0 {
+		return fmt.Errorf("dram: REFsb unsupported by %v", d.p.Grade)
+	}
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
+	b := d.banks[bank]
+	if err := b.AutoRefresh(d.refRowsPerREF, now, d.p.RFCsb); err != nil {
+		return err
+	}
+	d.Refs++
+	return nil
+}
+
+// RFM executes a per-bank refresh-management command: the bank is busy for
+// tRFM while the mitigator performs its action (SHADOW: row-shuffle +
+// incremental refresh; PARFM/Mithril: TRR). The bank's RAA counter is
+// decremented by RAAIMT per JEDEC.
+func (d *Device) RFM(bank int, now timing.Tick) error {
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
+	b := d.banks[bank]
+	if b.open {
+		return &TimingError{Cmd: "RFM (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt}
+	}
+	if r := b.readyForACT(); now < r {
+		return &TimingError{Cmd: "RFM", Bank: b.id, Now: now, ReadyAt: r}
+	}
+	b.Stats.RFMs++
+	b.RAA -= d.p.RAAIMT
+	if b.RAA < 0 {
+		b.RAA = 0
+	}
+	d.mit.OnRFM(b, now)
+	b.setBusy(now + d.p.RFM)
+	return nil
+}
+
+// SwapRows exchanges the contents of two PA rows of a bank — the data
+// movement behind an RRS row swap, performed by the MC with reads and writes
+// over the channel. Both rows end fully restored. The caller accounts for
+// the channel-blocking time.
+func (d *Device) SwapRows(bank, paA, paB int) error {
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
+	if paA == paB {
+		return fmt.Errorf("dram: swap of row %d with itself", paA)
+	}
+	b := d.banks[bank]
+	subA, daA := d.translate(b, paA)
+	subB, daB := d.translate(b, paB)
+	ra, rb := b.Subarray(subA).Row(daA), b.Subarray(subB).Row(daB)
+	var tmp Row
+	tmp.CopyFrom(ra, d.geo.RowBytes)
+	ra.CopyFrom(rb, d.geo.RowBytes)
+	rb.CopyFrom(&tmp, d.geo.RowBytes)
+	b.Subarray(subA).Hammer.Refresh(daA)
+	b.Subarray(subB).Hammer.Refresh(daB)
+	return nil
+}
+
+// Flips returns every bit flip the device has suffered.
+func (d *Device) Flips() []FlipRecord { return d.flips }
+
+// FlipCount returns the total number of bit flips.
+func (d *Device) FlipCount() int { return len(d.flips) }
+
+// InspectPA returns the current payload of a PA row (debug/verification
+// path; no timing effects).
+func (d *Device) InspectPA(bank, paRow int) []byte {
+	b := d.banks[bank]
+	sub, da := d.translate(b, paRow)
+	return b.Subarray(sub).Row(da).Bytes(d.geo.RowBytes)
+}
+
+// ScrubReport summarizes a device-wide integrity scrub.
+type ScrubReport struct {
+	RowsChecked   int
+	CorruptedRows int
+	CorruptedBits int
+	// PerBank counts corrupted rows by bank.
+	PerBank map[int]int
+}
+
+// Scrub verifies every PA row of every bank against its power-on pattern —
+// the ECC-scrubber's view of the device after an attack. Rows written by the
+// workload would legitimately differ; the simulator's traffic never writes
+// new values (writes re-commit the stored pattern), so any mismatch is Row
+// Hammer corruption.
+func (d *Device) Scrub() ScrubReport {
+	rep := ScrubReport{PerBank: make(map[int]int)}
+	for bank := range d.banks {
+		for pa := 0; pa < d.geo.PARowsPerBank(); pa++ {
+			rep.RowsChecked++
+			if bits := d.CorruptedBitsPA(bank, pa); bits > 0 {
+				rep.CorruptedRows++
+				rep.CorruptedBits += bits
+				rep.PerBank[bank]++
+			}
+		}
+	}
+	return rep
+}
+
+// CorruptedBitsPA counts bit errors in a PA row relative to its power-on
+// pattern.
+func (d *Device) CorruptedBitsPA(bank, paRow int) int {
+	b := d.banks[bank]
+	sub, da := d.translate(b, paRow)
+	return b.Subarray(sub).Row(da).CorruptedBits(b.InitialSeed(paRow), d.geo.RowBytes)
+}
+
+// TotalStats sums the per-bank statistics.
+func (d *Device) TotalStats() BankStats {
+	var t BankStats
+	for _, b := range d.banks {
+		t.Acts += b.Stats.Acts
+		t.Reads += b.Stats.Reads
+		t.Writes += b.Stats.Writes
+		t.Pres += b.Stats.Pres
+		t.RefRows += b.Stats.RefRows
+		t.RFMs += b.Stats.RFMs
+		t.RowCopies += b.Stats.RowCopies
+		t.Flips += b.Stats.Flips
+	}
+	return t
+}
+
+func (d *Device) checkBank(bank int) error {
+	if bank < 0 || bank >= len(d.banks) {
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+	}
+	return nil
+}

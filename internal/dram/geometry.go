@@ -1,0 +1,92 @@
+// Package dram models a DRAM rank at command granularity: banks composed of
+// subarrays of rows, JEDEC bank state machines with timing validation,
+// per-row data payloads, intra-subarray row-copy (RowClone/LISA-style, the
+// primitive SHADOW's row-shuffle is built on), auto-refresh bookkeeping, and
+// the Row Hammer fault model hooks.
+//
+// The device executes commands issued by a memory controller (package
+// memctrl) and delegates PA-to-DA translation and RFM handling to a
+// pluggable Mitigator — the identity mitigator for an unprotected device,
+// package shadow for the paper's contribution, or the TRR-based baselines in
+// package mitigate.
+package dram
+
+import "fmt"
+
+// Geometry describes the organization of one DRAM rank.
+type Geometry struct {
+	Banks            int // banks in the rank
+	SubarraysPerBank int
+	RowsPerSubarray  int // PA-addressable rows per subarray (512 in the paper)
+	RowBytes         int // bytes per row (1 KB in the paper)
+
+	// ExtraRows is the number of additional non-PA-addressable rows per
+	// subarray. SHADOW provisions one (Row_empt). These rows exist in DA
+	// space, are refreshed, and participate in hammer accounting, but the MC
+	// cannot name them.
+	ExtraRows int
+}
+
+// DefaultGeometry returns the paper's organization for a rank: 512-row
+// subarrays of 1 KB rows, one extra row per subarray, 16 banks for DDR4 and
+// 32 for DDR5.
+func DefaultGeometry(ddr5 bool) Geometry {
+	banks := 16
+	if ddr5 {
+		banks = 32
+	}
+	return Geometry{
+		Banks:            banks,
+		SubarraysPerBank: 128,
+		RowsPerSubarray:  512,
+		RowBytes:         1024,
+		ExtraRows:        1,
+	}
+}
+
+// TestGeometry returns a small geometry for fast unit tests.
+func TestGeometry() Geometry {
+	return Geometry{Banks: 4, SubarraysPerBank: 4, RowsPerSubarray: 32, RowBytes: 64, ExtraRows: 1}
+}
+
+// Validate checks the geometry for consistency.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Banks <= 0 || g.SubarraysPerBank <= 0 || g.RowsPerSubarray <= 0:
+		return fmt.Errorf("dram: geometry dimensions must be positive: %+v", g)
+	case g.RowBytes <= 0:
+		return fmt.Errorf("dram: RowBytes must be positive: %d", g.RowBytes)
+	case g.ExtraRows < 0:
+		return fmt.Errorf("dram: ExtraRows must be non-negative: %d", g.ExtraRows)
+	}
+	return nil
+}
+
+// DARowsPerSubarray is the number of device-addressable rows per subarray
+// (PA rows plus the extra rows).
+func (g Geometry) DARowsPerSubarray() int { return g.RowsPerSubarray + g.ExtraRows }
+
+// PARowsPerBank is the number of MC-addressable rows per bank.
+func (g Geometry) PARowsPerBank() int { return g.SubarraysPerBank * g.RowsPerSubarray }
+
+// DARowsPerBank is the number of device rows per bank, excluding
+// remapping-rows (which live outside the ordinary row space).
+func (g Geometry) DARowsPerBank() int { return g.SubarraysPerBank * g.DARowsPerSubarray() }
+
+// SubarrayOf decomposes a PA row index into (subarray, intra-subarray row).
+func (g Geometry) SubarrayOf(paRow int) (sub, idx int) {
+	return paRow / g.RowsPerSubarray, paRow % g.RowsPerSubarray
+}
+
+// PARow composes a PA row index from (subarray, intra-subarray row).
+func (g Geometry) PARow(sub, idx int) int { return sub*g.RowsPerSubarray + idx }
+
+// CapacityOverhead returns the fraction of extra device capacity SHADOW
+// provisions: the extra rows plus one remapping-row per subarray relative to
+// the PA-addressable rows. For the default geometry (1 empty + 1 remap per
+// 512 rows paired across two subarrays) this is ~0.4-0.6%, matching the
+// paper's 0.6% figure.
+func (g Geometry) CapacityOverhead() float64 {
+	extra := float64(g.ExtraRows + 1) // empty rows + remapping-row
+	return extra / float64(g.RowsPerSubarray)
+}

@@ -1,0 +1,57 @@
+package dram
+
+import "fmt"
+
+// Soft post-package repair (sPPR), a DDR4/DDR5 maintenance feature the paper
+// highlights (Section VIII) as evidence that a low-overhead runtime address
+// relocation path already exists in commodity DRAM — the same path SHADOW's
+// remapping reuses. SoftPPR redirects a PA row to any chosen device row;
+// the override sits in front of the installed mitigator's translation,
+// mirroring how the sPPR fuse-latch match happens before row decoding.
+
+// spprEntry records one repair.
+type spprEntry struct{ sub, da int }
+
+// SoftPPR remaps PA row paRow of bank to device row (sub, da), copying the
+// row's current contents to the replacement (repair semantics). It is a
+// maintenance operation outside the timing model.
+func (d *Device) SoftPPR(bank, paRow, sub, da int) error {
+	if err := d.checkBank(bank); err != nil {
+		return err
+	}
+	if _, ok := d.mit.(Identity); !ok {
+		// A dynamic remapper (SHADOW) may later choose the repair target as
+		// a shuffle destination; composing the two needs the controller to
+		// reserve repair rows, which this model does not implement.
+		return fmt.Errorf("dram: sPPR requires the identity mitigator (device runs %q)", d.mit.Name())
+	}
+	if paRow < 0 || paRow >= d.geo.PARowsPerBank() {
+		return fmt.Errorf("dram: sPPR PA row %d out of range", paRow)
+	}
+	if sub < 0 || sub >= d.geo.SubarraysPerBank || da < 0 || da >= d.geo.DARowsPerSubarray() {
+		return fmt.Errorf("dram: sPPR target (%d,%d) out of range", sub, da)
+	}
+	b := d.banks[bank]
+	curSub, curDA := d.translate(b, paRow)
+	if curSub == sub && curDA == da {
+		return fmt.Errorf("dram: sPPR target equals current location (%d,%d)", sub, da)
+	}
+	dst := b.Subarray(sub).Row(da)
+	dst.CopyFrom(b.Subarray(curSub).Row(curDA), d.geo.RowBytes)
+	if b.sppr == nil {
+		b.sppr = make(map[int]spprEntry)
+	}
+	b.sppr[paRow] = spprEntry{sub: sub, da: da}
+	return nil
+}
+
+// SPPRCount returns the number of active repairs in a bank.
+func (d *Device) SPPRCount(bank int) int { return len(d.banks[bank].sppr) }
+
+// translate resolves a PA row through the sPPR override, then the mitigator.
+func (d *Device) translate(b *Bank, paRow int) (int, int) {
+	if e, ok := b.sppr[paRow]; ok {
+		return e.sub, e.da
+	}
+	return d.mit.Translate(b, paRow)
+}

@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"shadow/internal/circuit"
+	"shadow/internal/dram"
+	"shadow/internal/power"
+	"shadow/internal/report"
+	"shadow/internal/security"
+	"shadow/internal/timing"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (header row first, notes as
+// trailing comment lines), for piping into plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// Table2 reproduces Table II: the RH-induced bit-flip probability of SHADOW
+// for a DDR5 rank over a year, maximized over the three Appendix XI attack
+// scenarios, with the secure cells marked.
+func Table2() *Table {
+	raaimts := []int{128, 64, 32}
+	hcnts := []int{8192, 4096, 2048}
+	t := &Table{
+		Title:  "Table II: SHADOW rank-year bit-flip probability",
+		Header: []string{"RAAIMT", "Hcnt=8K", "Hcnt=4K", "Hcnt=2K"},
+		Notes: []string{
+			"paper: 128 -> 2E-15, 4E-01, 1 ; 64 -> 2E-43, 1E-14, 5E-01 ; 32 -> 0, 1E-43, 9E-15",
+			"* marks secure configurations (< 1%/rank-year), matching the paper's bold cells",
+		},
+	}
+	for _, r := range raaimts {
+		row := []string{fmt.Sprintf("%d", r)}
+		for _, h := range hcnts {
+			c := security.DefaultConfig(h, r)
+			p := c.BitFlipProbability()
+			cell := fmt.Sprintf("%.0E", p)
+			if p < 1e-90 {
+				cell = "~0"
+			}
+			if c.Secure() {
+				cell += " *"
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table3 reproduces Table III: SHADOW's timing values from the circuit
+// model, with the paper's SPICE values for comparison.
+func Table3() *Table {
+	p := timing.NewParams(timing.DDR4_2666)
+	r := circuit.DefaultModel().Evaluate(p)
+	t := &Table{
+		Title:  "Table III: SHADOW timing values (analytical circuit model)",
+		Header: []string{"Definition", "Abbrev", "Model", "Paper", "Baseline", "Ratio"},
+	}
+	add := func(def, abbr string, got, paper, base float64) {
+		ratio := "-"
+		if base > 0 {
+			ratio = fmt.Sprintf("%+.0f%%", (got/base-1)*100)
+		}
+		baseS := "-"
+		if base > 0 {
+			baseS = fmt.Sprintf("%.1fns", base)
+		}
+		t.Rows = append(t.Rows, []string{
+			def, abbr, fmt.Sprintf("%.1fns", got), fmt.Sprintf("%.1fns", paper), baseS, ratio,
+		})
+	}
+	add("Row activation in SHADOW", "tRCD'", r.TRCDShadow, 17.7, r.TRCDBaseline)
+	add("Row copy w/ precharge", "-", r.RowCopy, 73.9, 0)
+	add("Remapping-row sensing", "tRCD_RM", r.TRCDRM, 2.3, r.TRCDBaseline)
+	add("Remapping-row write recovery", "tWR_RM", r.TWRRM, 9.0, r.TWRBaseline)
+	add("Remapping-row read latency", "tRD_RM", r.TRDRM, 4.0, r.TRCDBaseline)
+	st := p.WithShadow(r.ShadowTimings())
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("row-shuffle total: %.0fns DDR4-2666 (paper 178ns), %.0fns DDR5-4800 (paper 186ns)",
+			st.ShuffleTime().Nanoseconds(),
+			timing.NewParams(timing.DDR5_4800).WithShadow(r.ShadowTimings()).ShuffleTime().Nanoseconds()),
+		fmt.Sprintf("isolation transistor capacitance reduction: %.0fx (paper: >100x)",
+			circuit.DefaultModel().CapacitanceReduction()))
+	return t
+}
+
+// AreaTable reproduces the Section VII-D synthesis results.
+func AreaTable() *Table {
+	am := power.DefaultAreaModel()
+	g := dram.DefaultGeometry(true)
+	t := &Table{
+		Title:  "Section VII-D: SHADOW area and capacity overhead",
+		Header: []string{"Metric", "Model", "Paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"logic area (mm^2)", fmt.Sprintf("%.2f", am.LogicArea(g)), "0.35"},
+		[]string{"chip area overhead", fmt.Sprintf("%.2f%%", am.AreaOverhead(g)*100), "0.47%"},
+		[]string{"capacity overhead", fmt.Sprintf("%.2f%%", am.CapacityOverhead(g)*100), "0.6%"},
+	)
+	t.Notes = append(t.Notes, "area is independent of H_cnt: SHADOW keeps no tracking table")
+	return t
+}
+
+// Chart renders performance points as a grouped ASCII bar chart (the
+// terminal counterpart of the paper's figures): one group per workload (and
+// H_cnt when the sweep varies it), one bar per scheme, scaled to 1.0 =
+// baseline performance.
+func Chart(title string, points []PerfPoint) *report.BarChart {
+	c := &report.BarChart{Title: title, YMax: 1.0, MaxWidth: 44}
+	multiH := false
+	seenH := -1
+	for _, p := range points {
+		if seenH == -1 {
+			seenH = p.HCnt
+		} else if p.HCnt != seenH {
+			multiH = true
+		}
+	}
+	for _, p := range points {
+		label := p.Workload
+		if multiH {
+			label = fmt.Sprintf("%s Hcnt=%d", p.Workload, p.HCnt)
+		}
+		series := string(p.Scheme)
+		if p.Blast > 5 { // Fig9 reuses Blast for the tRCD value
+			series = fmt.Sprintf("tRCD%d", p.Blast)
+		} else if p.Blast > 0 && p.Scheme == Shadow || p.Blast > 0 && p.Scheme == PARFM || p.Blast > 0 && p.Scheme == MithrilArea {
+			label = fmt.Sprintf("%s blast=%d", p.Workload, p.Blast)
+		}
+		c.Add(series, label, p.Rel)
+	}
+	return c
+}

@@ -1,0 +1,37 @@
+package memctrl
+
+import "shadow/internal/dram"
+
+// DecodePA splits a byte-granularity physical address into (bank, row, col)
+// using the usual bank-interleaved layout — low bits select the column
+// within a row, then the bank, then the row — so sequential physical
+// addresses stream across banks. This is the static, reverse-engineerable
+// PA-to-DA tuple mapping of Section II-B; SHADOW's dynamic remapping happens
+// below this layer, inside the device.
+func DecodePA(pa uint64, g dram.Geometry) (bank, row, col int) {
+	const lineBits = 6 // 64-byte lines
+	colsPerRow := g.RowBytes / 64
+	if colsPerRow < 1 {
+		colsPerRow = 1
+	}
+	v := pa >> lineBits
+	col = int(v % uint64(colsPerRow))
+	v /= uint64(colsPerRow)
+	bank = int(v % uint64(g.Banks))
+	v /= uint64(g.Banks)
+	row = int(v % uint64(g.PARowsPerBank()))
+	return bank, row, col
+}
+
+// EncodePA is the inverse of DecodePA (col and row must be in range).
+func EncodePA(bank, row, col int, g dram.Geometry) uint64 {
+	const lineBits = 6
+	colsPerRow := g.RowBytes / 64
+	if colsPerRow < 1 {
+		colsPerRow = 1
+	}
+	v := uint64(row)
+	v = v*uint64(g.Banks) + uint64(bank)
+	v = v*uint64(colsPerRow) + uint64(col)
+	return v << lineBits
+}

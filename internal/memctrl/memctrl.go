@@ -1,0 +1,740 @@
+// Package memctrl implements the memory controller: per-bank FR-FCFS
+// request scheduling with an open-page policy, full JEDEC timing enforcement
+// (tRCD/tRP/tRAS/tCCD_L/S/tRRD_L/S/tFAW/bus occupancy), auto-refresh, the
+// DDR5 RFM interface (per-bank RAA counters, RFM issue at RAAIMT, stall at
+// RAAMMT), and the MC-side mitigation hooks (BlockHammer throttling, RRS row
+// swaps with channel blocking, the Section VIII RFM filter).
+//
+// The controller is event-driven: Step(now) issues at most one DRAM command
+// at `now` and returns the earliest future instant at which anything could
+// change, so multi-millisecond refresh windows simulate quickly.
+package memctrl
+
+import (
+	"fmt"
+
+	"shadow/internal/dram"
+	"shadow/internal/mitigate"
+	"shadow/internal/timing"
+)
+
+// Request is one memory transaction (a 64-byte line).
+type Request struct {
+	Core   int
+	Bank   int
+	Row    int
+	Col    int
+	Write  bool
+	Arrive timing.Tick
+	// Done is the completion time: data fully returned for reads, command
+	// accepted for (posted) writes. Zero until completed.
+	Done timing.Tick
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Acts, Reads, Writes, Pres int64
+	Refs, RFMs, SkippedRFMs   int64
+	Swaps, TRRs               int64
+	RowHits, RowMisses        int64
+	ReadLatency               timing.Tick // sum over completed reads (arrive -> data)
+	CompletedReads            int64
+	CompletedWrites           int64
+	BlockedTime               timing.Tick // channel blocked by swaps
+}
+
+// Cmd is one DRAM command issued by the controller, as reported to the
+// OnCommand hook (package cmdtrace validates streams of these against the
+// JEDEC constraints independently of the device's own checking).
+type Cmd struct {
+	Kind CmdKind
+	Bank int // -1 for rank-level commands (REF)
+	Row  int // physical row for ACT; -1 otherwise
+	At   timing.Tick
+}
+
+// CmdKind enumerates DRAM command types.
+type CmdKind int
+
+// Command kinds.
+const (
+	CmdACT CmdKind = iota
+	CmdPRE
+	CmdRD
+	CmdWR
+	CmdREF
+	CmdRFM
+)
+
+// String implements fmt.Stringer.
+func (k CmdKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	case CmdRFM:
+		return "RFM"
+	}
+	return fmt.Sprintf("CmdKind(%d)", int(k))
+}
+
+// Options configures a controller.
+type Options struct {
+	// MCSide is the controller-side mitigation policy (defaults to none).
+	MCSide mitigate.MCSide
+	// RFMFilter optionally gates RFM issue (Section VIII extension).
+	RFMFilter *mitigate.RFMFilter
+	// QueueCap bounds each bank's request queue (0 = 64).
+	QueueCap int
+	// ClosedPage precharges a bank as soon as no hits are queued, so every
+	// access is an activation — the behaviour an attacker induces with
+	// cache-flushing access sequences, used by the attack simulator.
+	ClosedPage bool
+	// SameBankRefresh uses DDR5 REFsb commands instead of all-bank REF: one
+	// bank refreshes every tREFI/banks while the others keep serving,
+	// trading rank-wide stalls for more frequent, cheaper ones. Requires a
+	// parameter set with tRFCsb (DDR5).
+	SameBankRefresh bool
+	// OnComplete, when set, is invoked for every completed request.
+	OnComplete func(*Request)
+	// OnCommand, when set, observes every DRAM command the controller
+	// issues (protocol validation, command-trace dumps).
+	OnCommand func(Cmd)
+}
+
+type bankCtl struct {
+	queue   []*Request
+	open    bool
+	openRow int // physical (post-MC-translation) row that is open
+	raa     int
+	// actFor, in closed-page mode, is the single request the current
+	// activation was issued for; once served the row closes.
+	actFor *Request
+	// trr queues victim rows awaiting an MC-side target-row-refresh
+	// (an ACT-PRE cycle issued by the controller itself).
+	trr []int
+	// trrOpen marks the open row as a TRR activation: no column traffic,
+	// precharge as soon as tRAS allows.
+	trrOpen bool
+}
+
+// Controller drives one rank.
+type Controller struct {
+	dev *dram.Device
+	p   *timing.Params
+	geo dram.Geometry
+	opt Options
+	mc  mitigate.MCSide
+
+	banks []bankCtl
+
+	// Channel-global timing state.
+	cmdBusFreeAt timing.Tick
+	colGlobalAt  timing.Tick         // next column cmd (tCCD_S)
+	colGroupAt   map[int]timing.Tick // per bank group (tCCD_L)
+	rrdGlobalAt  timing.Tick         // next ACT (tRRD_S)
+	rrdGroupAt   map[int]timing.Tick // per bank group (tRRD_L)
+	actWindow    [4]timing.Tick      // tFAW ring
+	actWindowIdx int
+	busFreeAt    timing.Tick // data bus
+	blockedUntil timing.Tick // RRS swap channel blocking
+
+	nextRefreshAt timing.Tick
+	refreshDrain  bool
+	refreshBank   int // next REFsb target when SameBankRefresh is on
+
+	Stats Stats
+}
+
+// New builds a controller for the device.
+func New(dev *dram.Device, opt Options) *Controller {
+	if opt.QueueCap == 0 {
+		opt.QueueCap = 64
+	}
+	mc := opt.MCSide
+	if mc == nil {
+		mc = mitigate.NopMCSide{}
+	}
+	c := &Controller{
+		dev:           dev,
+		p:             dev.Params(),
+		geo:           dev.Geometry(),
+		opt:           opt,
+		mc:            mc,
+		banks:         make([]bankCtl, dev.Banks()),
+		colGroupAt:    make(map[int]timing.Tick),
+		rrdGroupAt:    make(map[int]timing.Tick),
+		nextRefreshAt: dev.Params().REFI,
+	}
+	if opt.SameBankRefresh {
+		if dev.Params().RFCsb <= 0 {
+			panic("memctrl: SameBankRefresh requires a parameter set with tRFCsb")
+		}
+		// Per-bank refresh paces banks*x faster at 1/banks the work each.
+		c.nextRefreshAt = dev.Params().REFI / timing.Tick(dev.Banks())
+	}
+	for i := range c.actWindow {
+		c.actWindow[i] = -dev.Params().FAW
+	}
+	return c
+}
+
+// Device returns the attached rank.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// bankGroup maps a bank to its bank group (4 banks per group, per DDR4/5).
+func bankGroup(bank int) int { return bank / 4 }
+
+// Enqueue adds a request. It reports false when the bank queue is full (the
+// core must retry later).
+func (c *Controller) Enqueue(r *Request) bool {
+	if r.Bank < 0 || r.Bank >= len(c.banks) {
+		panic(fmt.Sprintf("memctrl: bank %d out of range", r.Bank))
+	}
+	b := &c.banks[r.Bank]
+	if len(b.queue) >= c.opt.QueueCap {
+		return false
+	}
+	b.queue = append(b.queue, r)
+	return true
+}
+
+// QueuedRequests returns the total number of requests waiting.
+func (c *Controller) QueuedRequests() int {
+	n := 0
+	for i := range c.banks {
+		n += len(c.banks[i].queue)
+	}
+	return n
+}
+
+// Pending reports whether any request is queued.
+func (c *Controller) Pending() bool { return c.QueuedRequests() > 0 }
+
+// Step attempts to issue one command at time `now` and returns the earliest
+// time at which the controller could act next. When the return value equals
+// now, call Step again (more work is possible at this instant).
+func (c *Controller) Step(now timing.Tick) timing.Tick {
+	if now < c.blockedUntil {
+		return c.blockedUntil
+	}
+	if now < c.cmdBusFreeAt {
+		return c.cmdBusFreeAt
+	}
+
+	next := timing.Forever
+
+	// 1. Refresh has top priority once due: drain open banks, then REF.
+	if now >= c.nextRefreshAt {
+		c.refreshDrain = true
+	} else {
+		next = minTick(next, c.nextRefreshAt)
+	}
+	if c.refreshDrain {
+		if t, issued := c.tryRefresh(now); issued {
+			return c.afterCmd(now)
+		} else if t != timing.Forever {
+			next = minTick(next, t)
+		}
+		if c.refreshDrain {
+			// While draining, do not start new row activity; allow column
+			// traffic to finish below only for open rows.
+			if t := c.tryDrainColumns(now); t == now {
+				return c.afterCmd(now)
+			} else {
+				return minTick(next, t)
+			}
+		}
+	}
+
+	// 2. Per-bank RFM when the RAA counter demands it.
+	for i := range c.banks {
+		t, issued := c.tryRFM(now, i)
+		if issued {
+			return c.afterCmd(now)
+		}
+		next = minTick(next, t)
+	}
+
+	// 3. MC-side target-row-refreshes (Graphene, PARA).
+	for i := range c.banks {
+		t, issued := c.tryTRR(now, i)
+		if issued {
+			return c.afterCmd(now)
+		}
+		next = minTick(next, t)
+	}
+
+	// 4. Demand traffic, FR-FCFS.
+	for i := range c.banks {
+		t, issued := c.tryDemand(now, i)
+		if issued {
+			return c.afterCmd(now)
+		}
+		next = minTick(next, t)
+	}
+	return next
+}
+
+// tryTRR advances a bank's pending MC-side target-row-refreshes: close the
+// bank if needed, activate the victim (restoring its charge), and precharge
+// again. TRR activations count toward the RAA counter like any other ACT.
+func (c *Controller) tryTRR(now timing.Tick, i int) (timing.Tick, bool) {
+	b := &c.banks[i]
+	if b.trrOpen {
+		// Precharge the TRR activation as soon as legal.
+		t := c.dev.Bank(i).NextPREReady()
+		if now < t {
+			return t, false
+		}
+		if err := c.dev.Precharge(i, now); err != nil {
+			panic(fmt.Sprintf("memctrl: TRR PRE: %v", err))
+		}
+		b.open = false
+		b.trrOpen = false
+		c.Stats.Pres++
+		c.log(CmdPRE, i, -1, now)
+		return now, true
+	}
+	if len(b.trr) == 0 {
+		return timing.Forever, false
+	}
+	if b.open {
+		t := c.dev.Bank(i).NextPREReady()
+		if now < t {
+			return t, false
+		}
+		if err := c.dev.Precharge(i, now); err != nil {
+			panic(fmt.Sprintf("memctrl: TRR drain PRE: %v", err))
+		}
+		b.open = false
+		c.Stats.Pres++
+		c.log(CmdPRE, i, -1, now)
+		return now, true
+	}
+	row := b.trr[0]
+	t := c.actReadyAt(now, i, row)
+	if t == timing.Forever {
+		return timing.Forever, false // RAA saturated; RFM first
+	}
+	if now < t {
+		return t, false
+	}
+	if err := c.dev.Activate(i, row, now); err != nil {
+		panic(fmt.Sprintf("memctrl: TRR ACT: %v", err))
+	}
+	c.log(CmdACT, i, row, now)
+	b.trr = b.trr[1:]
+	b.open = true
+	b.openRow = row
+	b.trrOpen = true
+	b.actFor = nil
+	b.raa++
+	c.Stats.Acts++
+	c.Stats.TRRs++
+	c.noteACT(now, i)
+	return now, true
+}
+
+// afterCmd accounts for command-bus occupancy and returns the next instant.
+func (c *Controller) afterCmd(now timing.Tick) timing.Tick {
+	c.cmdBusFreeAt = now + c.p.TCK
+	return c.cmdBusFreeAt
+}
+
+// log reports an issued command to the OnCommand hook.
+func (c *Controller) log(kind CmdKind, bank, row int, at timing.Tick) {
+	if c.opt.OnCommand != nil {
+		c.opt.OnCommand(Cmd{Kind: kind, Bank: bank, Row: row, At: at})
+	}
+}
+
+// tryRefresh advances the refresh drain: precharge open banks, then issue
+// REF (or a single-bank REFsb in same-bank mode). Returns
+// (nextTime, issuedCommand).
+func (c *Controller) tryRefresh(now timing.Tick) (timing.Tick, bool) {
+	if c.opt.SameBankRefresh {
+		return c.trySameBankRefresh(now)
+	}
+	next := timing.Forever
+	allClosed := true
+	for i := range c.banks {
+		b := &c.banks[i]
+		if !b.open {
+			continue
+		}
+		allClosed = false
+		ready := c.dev.Bank(i).NextPREReady()
+		if now >= ready {
+			if err := c.dev.Precharge(i, now); err != nil {
+				panic(fmt.Sprintf("memctrl: drain PRE: %v", err))
+			}
+			b.open = false
+			c.Stats.Pres++
+			c.log(CmdPRE, i, -1, now)
+			return now, true
+		}
+		next = minTick(next, ready)
+	}
+	if !allClosed {
+		return next, false
+	}
+	// All banks closed: REF when every bank is out of its busy window.
+	ready := now
+	for i := 0; i < c.dev.Banks(); i++ {
+		ready = maxTick(ready, c.dev.Bank(i).NextACTReady())
+	}
+	if now < ready {
+		return ready, false
+	}
+	if err := c.dev.Refresh(now); err != nil {
+		panic(fmt.Sprintf("memctrl: REF: %v", err))
+	}
+	c.Stats.Refs++
+	c.log(CmdREF, -1, -1, now)
+	c.nextRefreshAt += c.p.REFI
+	c.refreshDrain = false
+	return now, true
+}
+
+// trySameBankRefresh refreshes only the rotation's target bank (REFsb).
+func (c *Controller) trySameBankRefresh(now timing.Tick) (timing.Tick, bool) {
+	i := c.refreshBank
+	b := &c.banks[i]
+	if b.open {
+		ready := c.dev.Bank(i).NextPREReady()
+		if now < ready {
+			return ready, false
+		}
+		if err := c.dev.Precharge(i, now); err != nil {
+			panic(fmt.Sprintf("memctrl: REFsb PRE: %v", err))
+		}
+		b.open = false
+		b.trrOpen = false
+		c.Stats.Pres++
+		c.log(CmdPRE, i, -1, now)
+		return now, true
+	}
+	if ready := c.dev.Bank(i).NextACTReady(); now < ready {
+		return ready, false
+	}
+	if err := c.dev.RefreshBank(i, now); err != nil {
+		panic(fmt.Sprintf("memctrl: REFsb: %v", err))
+	}
+	c.Stats.Refs++
+	c.log(CmdREF, i, -1, now)
+	c.refreshBank = (c.refreshBank + 1) % len(c.banks)
+	c.nextRefreshAt += c.p.REFI / timing.Tick(len(c.banks))
+	c.refreshDrain = false
+	return now, true
+}
+
+// tryDrainColumns lets already-open rows finish pending hits during a
+// refresh drain so PRE becomes legal sooner. Returns now if it issued.
+func (c *Controller) tryDrainColumns(now timing.Tick) timing.Tick {
+	next := timing.Forever
+	for i := range c.banks {
+		b := &c.banks[i]
+		if !b.open {
+			continue
+		}
+		req, idx := c.oldestHit(i)
+		if req == nil {
+			// No hits: PRE handled by tryRefresh next round.
+			continue
+		}
+		t := c.colReadyAt(now, i)
+		if now >= t {
+			c.issueColumn(now, i, req, idx)
+			return now
+		}
+		next = minTick(next, t)
+	}
+	return next
+}
+
+// tryRFM issues a pending RFM for bank i. Per JEDEC the MC may defer the RFM
+// while the RAA counter stays below RAAMMT, so we issue opportunistically
+// when the bank is idle and only force it (stalling ACTs) when the counter
+// could overrun within another interval. Returns (nextTime, issued).
+func (c *Controller) tryRFM(now timing.Tick, i int) (timing.Tick, bool) {
+	b := &c.banks[i]
+	if c.p.RAAIMT <= 0 || b.raa < c.p.RAAIMT {
+		return timing.Forever, false
+	}
+	urgent := b.raa+c.p.RAAIMT > c.p.RAAMMT
+	if !urgent && len(b.queue) > 0 {
+		// Defer: demand traffic continues; a later Step retries when the
+		// queue drains or the counter grows urgent.
+		return timing.Forever, false
+	}
+	// Section VIII filter: skip the RFM when no row is hot.
+	if c.opt.RFMFilter != nil && !c.opt.RFMFilter.ShouldRFM(i, now) {
+		b.raa -= c.p.RAAIMT
+		c.dev.Bank(i).RAA = b.raa
+		c.Stats.SkippedRFMs++
+		return timing.Forever, false
+	}
+	if b.open {
+		ready := c.dev.Bank(i).NextPREReady()
+		if now < ready {
+			return ready, false
+		}
+		if err := c.dev.Precharge(i, now); err != nil {
+			panic(fmt.Sprintf("memctrl: RFM PRE: %v", err))
+		}
+		b.open = false
+		c.Stats.Pres++
+		c.log(CmdPRE, i, -1, now)
+		return now, true
+	}
+	ready := c.dev.Bank(i).NextACTReady()
+	if now < ready {
+		return ready, false
+	}
+	if err := c.dev.RFM(i, now); err != nil {
+		panic(fmt.Sprintf("memctrl: RFM: %v", err))
+	}
+	b.raa -= c.p.RAAIMT
+	c.Stats.RFMs++
+	c.log(CmdRFM, i, -1, now)
+	return now, true
+}
+
+// oldestHit returns the oldest queued request hitting the open row of bank i.
+func (c *Controller) oldestHit(i int) (*Request, int) {
+	b := &c.banks[i]
+	for idx, r := range b.queue {
+		if c.mc.TranslateRow(i, r.Row) == b.openRow {
+			return r, idx
+		}
+	}
+	return nil, -1
+}
+
+// colReadyAt returns the earliest legal column-command time for bank i.
+func (c *Controller) colReadyAt(now timing.Tick, i int) timing.Tick {
+	t := maxTick(now, c.dev.Bank(i).NextRDReady())
+	t = maxTick(t, c.colGlobalAt)
+	t = maxTick(t, c.colGroupAt[bankGroup(i)])
+	// Data must find the bus free: RD data occupies [t+AA, t+AA+BL].
+	if c.busFreeAt > t+c.p.AA {
+		t = c.busFreeAt - c.p.AA
+	}
+	return t
+}
+
+// issueColumn sends the RD/WR for req (at queue position idx) on bank i.
+func (c *Controller) issueColumn(now timing.Tick, i int, req *Request, idx int) {
+	var err error
+	if req.Write {
+		err = c.dev.Write(i, now)
+		req.Done = now + c.p.WL + c.p.BL
+		c.busFreeAt = now + c.p.WL + c.p.BL
+		c.Stats.Writes++
+		c.Stats.CompletedWrites++
+	} else {
+		err = c.dev.Read(i, now)
+		req.Done = now + c.p.AA + c.p.BL
+		c.busFreeAt = now + c.p.AA + c.p.BL
+		c.Stats.Reads++
+		c.Stats.CompletedReads++
+		c.Stats.ReadLatency += req.Done - req.Arrive
+	}
+	if err != nil {
+		panic(fmt.Sprintf("memctrl: column: %v", err))
+	}
+	if req.Write {
+		c.log(CmdWR, i, -1, now)
+	} else {
+		c.log(CmdRD, i, -1, now)
+	}
+	c.colGlobalAt = now + c.p.CCDS
+	c.colGroupAt[bankGroup(i)] = now + c.p.CCDL
+	b := &c.banks[i]
+	b.queue = append(b.queue[:idx], b.queue[idx+1:]...)
+	if c.opt.OnComplete != nil {
+		c.opt.OnComplete(req)
+	}
+}
+
+// actReadyAt returns the earliest legal ACT time for physical row physRow of
+// bank i.
+func (c *Controller) actReadyAt(now timing.Tick, i, physRow int) timing.Tick {
+	t := maxTick(now, c.dev.Bank(i).NextACTReady())
+	t = maxTick(t, c.rrdGlobalAt)
+	t = maxTick(t, c.rrdGroupAt[bankGroup(i)])
+	t = maxTick(t, c.actWindow[c.actWindowIdx]+c.p.FAW) // 4 ACTs per tFAW
+	t = maxTick(t, c.mc.ACTAllowedAt(i, physRow, t))
+	// Hold ACTs when the RAA counter is at its maximum.
+	if c.p.RAAIMT > 0 && c.banks[i].raa >= c.p.RAAMMT {
+		return timing.Forever // an RFM will drain it first
+	}
+	return t
+}
+
+// tryDemand schedules FR-FCFS work for bank i: column hit first, else PRE on
+// conflict, else ACT for the oldest request.
+func (c *Controller) tryDemand(now timing.Tick, i int) (timing.Tick, bool) {
+	b := &c.banks[i]
+	if len(b.queue) == 0 {
+		// Closed-page policy: shut the row once nothing is queued for it.
+		if c.opt.ClosedPage && b.open {
+			t := c.dev.Bank(i).NextPREReady()
+			if now >= t {
+				if err := c.dev.Precharge(i, now); err != nil {
+					panic(fmt.Sprintf("memctrl: closed-page PRE: %v", err))
+				}
+				b.open = false
+				c.Stats.Pres++
+				c.log(CmdPRE, i, -1, now)
+				return now, true
+			}
+			return t, false
+		}
+		return timing.Forever, false
+	}
+	if b.open {
+		req, idx := c.oldestHit(i)
+		if c.opt.ClosedPage {
+			// Only the request this activation was for may use the row.
+			if b.actFor == nil {
+				req = nil
+			} else if req != b.actFor {
+				req = nil
+				for j, r := range b.queue {
+					if r == b.actFor {
+						req, idx = r, j
+						break
+					}
+				}
+			}
+		}
+		if req != nil {
+			t := c.colReadyAt(now, i)
+			if now >= t {
+				if c.opt.ClosedPage {
+					b.actFor = nil
+				}
+				c.issueColumn(now, i, req, idx)
+				return now, true
+			}
+			return t, false
+		}
+		// Conflict: precharge.
+		t := c.dev.Bank(i).NextPREReady()
+		if now >= t {
+			if err := c.dev.Precharge(i, now); err != nil {
+				panic(fmt.Sprintf("memctrl: PRE: %v", err))
+			}
+			b.open = false
+			c.Stats.Pres++
+			c.log(CmdPRE, i, -1, now)
+			return now, true
+		}
+		return t, false
+	}
+	// Closed: activate for the oldest request.
+	req := b.queue[0]
+	phys := c.mc.TranslateRow(i, req.Row)
+	t := c.actReadyAt(now, i, phys)
+	if t == timing.Forever {
+		return timing.Forever, false
+	}
+	if now < t {
+		return t, false
+	}
+	if err := c.dev.Activate(i, phys, now); err != nil {
+		panic(fmt.Sprintf("memctrl: ACT: %v", err))
+	}
+	c.log(CmdACT, i, phys, now)
+	b.open = true
+	b.openRow = phys
+	b.actFor = req
+	b.trrOpen = false
+	b.raa++
+	c.Stats.Acts++
+	c.Stats.RowMisses++ // the head request needed this ACT
+	c.noteACT(now, i)
+	if c.opt.RFMFilter != nil {
+		c.opt.RFMFilter.Observe(i, phys, now)
+	}
+	// MC-side mitigation observation; may demand work.
+	if act := c.mc.OnACT(i, phys, now); act != nil {
+		if act.Swap != nil {
+			c.performSwap(act.Swap, now)
+		}
+		if len(act.TRR) > 0 {
+			b.trr = append(b.trr, act.TRR...)
+		}
+	}
+	return now, true
+}
+
+// noteACT records the rank-global ACT spacing state (tRRD, tFAW, command
+// bus) shared by demand and TRR activations.
+func (c *Controller) noteACT(now timing.Tick, i int) {
+	c.rrdGlobalAt = now + c.p.RRDS
+	c.rrdGroupAt[bankGroup(i)] = now + c.p.RRDL
+	c.actWindow[c.actWindowIdx] = now
+	c.actWindowIdx = (c.actWindowIdx + 1) % len(c.actWindow)
+}
+
+// performSwap executes an RRS swap: after the current ACT completes its
+// minimal cycle, the channel is blocked while the MC moves both rows.
+func (c *Controller) performSwap(s *mitigate.SwapRequest, now timing.Tick) {
+	// Close the bank first (the swap uses its own ACTs internally).
+	b := &c.banks[s.Bank]
+	preAt := maxTick(c.dev.Bank(s.Bank).NextPREReady(), now)
+	if err := c.dev.Precharge(s.Bank, preAt); err != nil {
+		panic(fmt.Sprintf("memctrl: swap PRE: %v", err))
+	}
+	b.open = false
+	c.Stats.Pres++
+	c.log(CmdPRE, s.Bank, -1, preAt)
+	if err := c.dev.SwapRows(s.Bank, s.RowA, s.RowB); err != nil {
+		panic(fmt.Sprintf("memctrl: swap: %v", err))
+	}
+	until := maxTick(preAt, now) + s.BlockFor
+	c.blockedUntil = maxTick(c.blockedUntil, until)
+	c.Stats.BlockedTime += until - now
+	c.Stats.Swaps++
+}
+
+// RowHitRate returns the fraction of column commands served without an ACT.
+func (s *Stats) RowHitRate() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(s.RowMisses)/float64(total)
+}
+
+// AvgReadLatency returns the mean arrive-to-data latency.
+func (s *Stats) AvgReadLatency() timing.Tick {
+	if s.CompletedReads == 0 {
+		return 0
+	}
+	return s.ReadLatency / timing.Tick(s.CompletedReads)
+}
+
+func minTick(a, b timing.Tick) timing.Tick {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTick(a, b timing.Tick) timing.Tick {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package memsys
+
+import (
+	"testing"
+
+	"shadow/internal/dram"
+	"shadow/internal/hammer"
+	"shadow/internal/memctrl"
+	"shadow/internal/timing"
+)
+
+func newSystem(t *testing.T, channels int) *System {
+	t.Helper()
+	ctls := make([]*memctrl.Controller, channels)
+	for ch := range ctls {
+		d, err := dram.NewDevice(dram.Config{
+			Geometry: dram.TestGeometry(),
+			Params:   timing.NewParams(timing.DDR4_2666),
+			Hammer:   hammer.Config{HCnt: 1 << 20, BlastRadius: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctls[ch] = memctrl.New(d, memctrl.Options{})
+	}
+	s, err := New(ctls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRouteInterleavesChannelsFirst(t *testing.T) {
+	s := newSystem(t, 4)
+	if s.TotalBanks() != 16 {
+		t.Fatalf("TotalBanks = %d", s.TotalBanks())
+	}
+	// Consecutive global banks land on consecutive channels.
+	for gb := 0; gb < 8; gb++ {
+		ch, bank := s.Route(gb)
+		if ch != gb%4 || bank != gb/4 {
+			t.Fatalf("Route(%d) = (%d,%d), want (%d,%d)", gb, ch, bank, gb%4, gb/4)
+		}
+	}
+	// Out-of-range banks wrap.
+	ch, _ := s.Route(100)
+	if ch < 0 || ch >= 4 {
+		t.Fatal("wrapped route out of range")
+	}
+}
+
+func TestEnqueueRewritesBank(t *testing.T) {
+	s := newSystem(t, 2)
+	r := &memctrl.Request{Bank: 5, Row: 1} // channel 1, local bank 2
+	if !s.Enqueue(r) {
+		t.Fatal("enqueue failed")
+	}
+	if r.Bank != 2 {
+		t.Fatalf("request bank rewritten to %d, want 2", r.Bank)
+	}
+	if !s.Controller(1).Pending() || s.Controller(0).Pending() {
+		t.Fatal("request routed to wrong channel")
+	}
+	if !s.Pending() {
+		t.Fatal("system should be pending")
+	}
+}
+
+func TestStepDrivesAllChannels(t *testing.T) {
+	s := newSystem(t, 2)
+	for gb := 0; gb < 8; gb++ {
+		if !s.Enqueue(&memctrl.Request{Bank: gb, Row: 3}) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	now := timing.Tick(0)
+	for s.Pending() && now < timing.Millisecond {
+		next := s.Step(now)
+		if next <= now {
+			continue
+		}
+		now = next
+	}
+	if s.Pending() {
+		t.Fatal("requests stuck")
+	}
+	st := s.Stats()
+	if st.Reads != 8 || st.Acts != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.DeviceStats().Acts != 8 {
+		t.Fatalf("device acts = %d", s.DeviceStats().Acts)
+	}
+	if s.FlipCount() != 0 {
+		t.Fatal("unexpected flips")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty channel list accepted")
+	}
+}

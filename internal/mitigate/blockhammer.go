@@ -1,0 +1,147 @@
+package mitigate
+
+import (
+	"shadow/internal/hammer"
+	"shadow/internal/timing"
+)
+
+// BlockHammer is the throttling baseline (Yaglikci et al., HPCA 2021): a
+// dual counting Bloom filter per bank tracks row activation counts over the
+// refresh window; a row whose estimate crosses the blacklist threshold is
+// throttled so it cannot reach the (blast-radius-adjusted) RH threshold
+// before its victims are refreshed. Bloom collisions make the scheme
+// increasingly likely to misidentify — and throttle — benign rows as the
+// threshold drops, which is the effect behind its low-H_cnt overhead in
+// Fig. 11.
+type BlockHammer struct {
+	cfg BlockHammerConfig
+
+	banks map[int]*bhBank
+
+	// Stats
+	Blacklisted int64       // ACTs that hit the blacklist
+	Delayed     timing.Tick // total delay injected
+}
+
+// bhBank is the per-bank filter state.
+type bhBank struct {
+	cbf        *DualCBF
+	epochStart timing.Tick
+	lastACT    map[int]timing.Tick // last ACT time of blacklisted rows
+}
+
+// BlockHammerConfig sizes the scheme.
+type BlockHammerConfig struct {
+	// Hammer supplies H_cnt and the blast radius; the effective per-row
+	// budget is H_cnt / W_sum since blast weights let several aggressors
+	// share the work of flipping one victim.
+	Hammer hammer.Config
+	// REFW is the refresh window; the filter epoch is REFW/2.
+	REFW timing.Tick
+	// Counters and Hashes size each Bloom filter (per bank). The hardware
+	// budget in the paper's comparison is a few KB per bank.
+	Counters, Hashes int
+	Seed             uint64
+}
+
+var _ MCSide = (*BlockHammer)(nil)
+
+// NewBlockHammer returns the throttling policy.
+func NewBlockHammer(cfg BlockHammerConfig) *BlockHammer {
+	if cfg.Counters == 0 {
+		cfg.Counters = 1024
+	}
+	if cfg.Hashes == 0 {
+		cfg.Hashes = 4
+	}
+	return &BlockHammer{cfg: cfg, banks: make(map[int]*bhBank)}
+}
+
+// Name implements MCSide.
+func (bh *BlockHammer) Name() string { return "blockhammer" }
+
+// TranslateRow implements MCSide (identity).
+func (bh *BlockHammer) TranslateRow(bank, paRow int) int { return paRow }
+
+func (bh *BlockHammer) bank(id int) *bhBank {
+	b, ok := bh.banks[id]
+	if !ok {
+		b = &bhBank{
+			cbf:     NewDualCBF(bh.cfg.Counters, bh.cfg.Hashes, bh.cfg.Seed+uint64(id)*7919),
+			lastACT: make(map[int]timing.Tick),
+		}
+		bh.banks[id] = b
+	}
+	return b
+}
+
+// effectiveHCnt is the per-aggressor activation budget once blast weights
+// are accounted for.
+func (bh *BlockHammer) effectiveHCnt() float64 {
+	return float64(bh.cfg.Hammer.HCnt) / bh.cfg.Hammer.WSum()
+}
+
+// blacklistThreshold is half the effective budget, per the BlockHammer
+// design (N_BL = n_RH*/2).
+func (bh *BlockHammer) blacklistThreshold() uint32 {
+	t := uint32(bh.effectiveHCnt() / 2)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// throttleDelay spreads a blacklisted row's remaining budget over the rest
+// of the window: with at most (H* - N_BL) ACTs allowed in up to a full
+// refresh window, consecutive ACTs must be at least REFW/(H*-N_BL) apart.
+func (bh *BlockHammer) throttleDelay() timing.Tick {
+	budget := bh.effectiveHCnt() - float64(bh.blacklistThreshold())
+	if budget < 1 {
+		budget = 1
+	}
+	return timing.Tick(float64(bh.cfg.REFW) / budget)
+}
+
+func (bh *BlockHammer) rotate(b *bhBank, now timing.Tick) {
+	for now-b.epochStart >= bh.cfg.REFW/2 {
+		b.cbf.Rotate()
+		b.epochStart += bh.cfg.REFW / 2
+		// Blacklist status must be re-earned each epoch.
+		b.lastACT = make(map[int]timing.Tick)
+	}
+}
+
+// ACTAllowedAt implements MCSide: blacklisted rows are delayed.
+func (bh *BlockHammer) ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tick {
+	b := bh.bank(bank)
+	bh.rotate(b, now)
+	if b.cbf.Estimate(rowKey(bank, paRow)) < bh.blacklistThreshold() {
+		return now
+	}
+	last, seen := b.lastACT[paRow]
+	if !seen {
+		return now
+	}
+	allowed := last + bh.throttleDelay()
+	if allowed < now {
+		return now
+	}
+	return allowed
+}
+
+// OnACT implements MCSide: count the activation.
+func (bh *BlockHammer) OnACT(bank, paRow int, now timing.Tick) *Action {
+	b := bh.bank(bank)
+	bh.rotate(b, now)
+	key := rowKey(bank, paRow)
+	b.cbf.Insert(key)
+	if b.cbf.Estimate(key) >= bh.blacklistThreshold() {
+		b.lastACT[paRow] = now
+		bh.Blacklisted++
+	}
+	return nil
+}
+
+func rowKey(bank, row int) uint64 {
+	return uint64(bank)<<40 | uint64(uint32(row))
+}

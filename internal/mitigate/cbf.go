@@ -1,0 +1,90 @@
+package mitigate
+
+// countingBloom is one counting Bloom filter: k hash functions over m
+// counters; an element's estimated count is the minimum of its counters
+// (never an underestimate).
+type countingBloom struct {
+	counters []uint32
+	hashes   int
+	salt     uint64
+	inserts  int64
+}
+
+func newCountingBloom(m, k int, salt uint64) *countingBloom {
+	return &countingBloom{counters: make([]uint32, m), hashes: k, salt: salt}
+}
+
+func (f *countingBloom) index(key uint64, i int) int {
+	z := key ^ f.salt ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(len(f.counters)))
+}
+
+// insert increments the element's counters.
+func (f *countingBloom) insert(key uint64) {
+	f.inserts++
+	for i := 0; i < f.hashes; i++ {
+		f.counters[f.index(key, i)]++
+	}
+}
+
+// estimate returns the element's count upper bound.
+func (f *countingBloom) estimate(key uint64) uint32 {
+	min := ^uint32(0)
+	for i := 0; i < f.hashes; i++ {
+		if c := f.counters[f.index(key, i)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+func (f *countingBloom) reset() {
+	for i := range f.counters {
+		f.counters[i] = 0
+	}
+	f.inserts = 0
+}
+
+// DualCBF is BlockHammer's dual counting Bloom filter: two CBFs alternate
+// over epochs of half a refresh window, so any row's activation history over
+// the last tREFW is bounded by the longer-lived filter's estimate while the
+// younger filter warms up to replace it.
+type DualCBF struct {
+	filters [2]*countingBloom
+	elder   int // index of the longer-running filter
+	epoch   int64
+}
+
+// NewDualCBF builds a dual filter with m counters and k hashes per filter.
+func NewDualCBF(m, k int, salt uint64) *DualCBF {
+	return &DualCBF{filters: [2]*countingBloom{
+		newCountingBloom(m, k, salt),
+		newCountingBloom(m, k, salt^0xABCDEF),
+	}}
+}
+
+// Insert records one activation of key.
+func (d *DualCBF) Insert(key uint64) {
+	d.filters[0].insert(key)
+	d.filters[1].insert(key)
+}
+
+// Estimate returns the activation-count upper bound for key within the
+// current history window.
+func (d *DualCBF) Estimate(key uint64) uint32 {
+	return d.filters[d.elder].estimate(key)
+}
+
+// Rotate ends an epoch: the elder filter (whose history is now a full
+// window old) clears and becomes the younger.
+func (d *DualCBF) Rotate() {
+	d.filters[d.elder].reset()
+	d.elder = 1 - d.elder
+	d.epoch++
+}
+
+// Epoch returns the number of rotations so far.
+func (d *DualCBF) Epoch() int64 { return d.epoch }

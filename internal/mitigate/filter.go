@@ -1,0 +1,78 @@
+package mitigate
+
+import "shadow/internal/timing"
+
+// RFMFilter is the Section VIII optimization: a random-projection counter
+// structure (here a dual counting Bloom filter, as in BlockHammer/Hydra) in
+// front of the RFM interface. The MC still counts RAA per bank, but when the
+// counter reaches RAAIMT it consults the filter and skips the RFM if no row
+// in the bank has been activated often enough to matter — most normal
+// workloads spread their activations and never need mitigation. Skipping is
+// safe down to the filter threshold because an attacker concentrating on few
+// rows necessarily drives some estimate past it.
+type RFMFilter struct {
+	counters, hashes int
+	refw             timing.Tick
+	// Threshold is the hot-row estimate above which RFMs are honored.
+	Threshold uint32
+
+	banks map[int]*filterBank
+
+	// Stats
+	Issued, Skipped int64
+}
+
+type filterBank struct {
+	cbf        *DualCBF
+	epochStart timing.Tick
+	maxEst     uint32
+}
+
+// NewRFMFilter builds a filter; threshold is typically RAAIMT/2.
+func NewRFMFilter(counters, hashes int, threshold uint32, refw timing.Tick) *RFMFilter {
+	if counters <= 0 {
+		counters = 1024
+	}
+	if hashes <= 0 {
+		hashes = 4
+	}
+	return &RFMFilter{
+		counters: counters, hashes: hashes, refw: refw,
+		Threshold: threshold, banks: make(map[int]*filterBank),
+	}
+}
+
+func (f *RFMFilter) bank(id int) *filterBank {
+	b, ok := f.banks[id]
+	if !ok {
+		b = &filterBank{cbf: NewDualCBF(f.counters, f.hashes, uint64(id)*104729)}
+		f.banks[id] = b
+	}
+	return b
+}
+
+// Observe records an ACT.
+func (f *RFMFilter) Observe(bank, paRow int, now timing.Tick) {
+	b := f.bank(bank)
+	for f.refw > 0 && now-b.epochStart >= f.refw/2 {
+		b.cbf.Rotate()
+		b.epochStart += f.refw / 2
+		b.maxEst = 0
+	}
+	key := rowKey(bank, paRow)
+	b.cbf.Insert(key)
+	if e := b.cbf.Estimate(key); e > b.maxEst {
+		b.maxEst = e
+	}
+}
+
+// ShouldRFM reports whether the pending RFM for a bank is worth issuing.
+func (f *RFMFilter) ShouldRFM(bank int, now timing.Tick) bool {
+	b := f.bank(bank)
+	if b.maxEst >= f.Threshold {
+		f.Issued++
+		return true
+	}
+	f.Skipped++
+	return false
+}

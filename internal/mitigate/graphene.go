@@ -1,0 +1,100 @@
+package mitigate
+
+import (
+	"shadow/internal/hammer"
+	"shadow/internal/timing"
+)
+
+// Graphene is the MC-side tracker baseline (Park et al., MICRO 2020): a
+// Misra-Gries-family table per bank counts activations; when a row's count
+// crosses the threshold the MC refreshes its victims with its own ACT-PRE
+// cycles and the row's counter restarts. Guaranteed protection requires the
+// threshold to be the blast-adjusted H_cnt divided by a safety factor (4
+// here, covering double-sided accumulation within one window with margin).
+type Graphene struct {
+	cfg    GrapheneConfig
+	banks  map[int]*grapheneBank
+	thresh int64
+
+	// Stats
+	Mitigations int64
+}
+
+type grapheneBank struct {
+	tracker   *Tracker
+	lastReset timing.Tick
+}
+
+// GrapheneConfig sizes the scheme.
+type GrapheneConfig struct {
+	// Hammer supplies H_cnt and the blast radius.
+	Hammer hammer.Config
+	// TableEntries sizes the per-bank tracker (Graphene's area cost grows
+	// as H_cnt falls — the scalability problem Section III-B describes).
+	TableEntries int
+	// RowsPerBank clamps victim rows to the bank.
+	RowsPerBank int
+	// REFW resets the counters every refresh window.
+	REFW timing.Tick
+}
+
+var _ MCSide = (*Graphene)(nil)
+
+// NewGraphene returns the tracker + MC-TRR policy.
+func NewGraphene(cfg GrapheneConfig) *Graphene {
+	if cfg.TableEntries == 0 {
+		// The table must hold every row that can cross the threshold in a
+		// window; sizing it to acts-per-window / threshold is the paper's
+		// rule. We default to a generous fixed size.
+		cfg.TableEntries = 1024
+	}
+	thresh := int64(float64(cfg.Hammer.HCnt) / cfg.Hammer.WSum() / 4)
+	if thresh < 1 {
+		thresh = 1
+	}
+	return &Graphene{cfg: cfg, banks: make(map[int]*grapheneBank), thresh: thresh}
+}
+
+// Name implements MCSide.
+func (g *Graphene) Name() string { return "graphene" }
+
+// Threshold returns the mitigation threshold.
+func (g *Graphene) Threshold() int64 { return g.thresh }
+
+// TranslateRow implements MCSide (identity).
+func (g *Graphene) TranslateRow(bank, paRow int) int { return paRow }
+
+// ACTAllowedAt implements MCSide (no throttling).
+func (g *Graphene) ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tick { return now }
+
+func (g *Graphene) bank(id int) *grapheneBank {
+	b, ok := g.banks[id]
+	if !ok {
+		b = &grapheneBank{tracker: NewTracker(g.cfg.TableEntries)}
+		g.banks[id] = b
+	}
+	return b
+}
+
+// OnACT implements MCSide: track and, at the threshold, refresh the victims.
+func (g *Graphene) OnACT(bank, paRow int, now timing.Tick) *Action {
+	b := g.bank(bank)
+	if g.cfg.REFW > 0 && now-b.lastReset >= g.cfg.REFW {
+		b.tracker.Reset()
+		b.lastReset += (now - b.lastReset) / g.cfg.REFW * g.cfg.REFW
+	}
+	if b.tracker.Observe(paRow) < g.thresh {
+		return nil
+	}
+	b.tracker.ResetRow(paRow)
+	g.Mitigations++
+	victims := make([]int, 0, 2*g.cfg.Hammer.BlastRadius)
+	for d := 1; d <= g.cfg.Hammer.BlastRadius; d++ {
+		for _, v := range [2]int{paRow - d, paRow + d} {
+			if v >= 0 && (g.cfg.RowsPerBank == 0 || v < g.cfg.RowsPerBank) {
+				victims = append(victims, v)
+			}
+		}
+	}
+	return &Action{TRR: victims}
+}

@@ -1,0 +1,224 @@
+package mitigate
+
+import (
+	"testing"
+
+	"shadow/internal/hammer"
+	"shadow/internal/timing"
+)
+
+func TestGrapheneTriggersAtThreshold(t *testing.T) {
+	g := NewGraphene(GrapheneConfig{
+		Hammer:      hammer.Config{HCnt: 280, BlastRadius: 1}, // threshold 280/2/4 = 35
+		RowsPerBank: 128,
+		REFW:        32 * timing.Millisecond,
+	})
+	if g.Threshold() != 35 {
+		t.Fatalf("threshold = %d, want 35", g.Threshold())
+	}
+	now := timing.Tick(0)
+	var act *Action
+	n := 0
+	for act == nil {
+		n++
+		if n > int(g.Threshold())+1 {
+			t.Fatal("never triggered")
+		}
+		act = g.OnACT(0, 50, now)
+		now += timing.NS(46)
+	}
+	if n != int(g.Threshold()) {
+		t.Fatalf("triggered after %d ACTs, want %d", n, g.Threshold())
+	}
+	if len(act.TRR) != 2 || act.TRR[0] != 49 || act.TRR[1] != 51 {
+		t.Fatalf("TRR victims %v, want [49 51]", act.TRR)
+	}
+	if act.Swap != nil {
+		t.Fatal("graphene must not swap")
+	}
+	// Counter was demoted: the very next ACT must not re-trigger.
+	if g.OnACT(0, 50, now) != nil {
+		t.Fatal("re-triggered immediately after mitigation")
+	}
+	if g.Mitigations != 1 {
+		t.Fatalf("Mitigations = %d", g.Mitigations)
+	}
+}
+
+func TestGrapheneVictimClamping(t *testing.T) {
+	g := NewGraphene(GrapheneConfig{
+		Hammer:      hammer.Config{HCnt: 56, BlastRadius: 3}, // threshold 2
+		RowsPerBank: 64,
+		REFW:        32 * timing.Millisecond,
+	})
+	var act *Action
+	now := timing.Tick(0)
+	for act == nil {
+		act = g.OnACT(0, 0, now) // edge row
+		now += timing.NS(46)
+	}
+	for _, v := range act.TRR {
+		if v < 0 || v >= 64 {
+			t.Fatalf("victim %d out of bank", v)
+		}
+	}
+	// Only the +d side exists for row 0.
+	if len(act.TRR) != 3 {
+		t.Fatalf("TRR %v, want the 3 high-side victims", act.TRR)
+	}
+}
+
+func TestGrapheneWindowReset(t *testing.T) {
+	g := NewGraphene(GrapheneConfig{
+		Hammer:      hammer.Config{HCnt: 800, BlastRadius: 1}, // threshold 100
+		RowsPerBank: 128,
+		REFW:        timing.Millisecond,
+	})
+	now := timing.Tick(0)
+	for i := 0; i < 99; i++ { // just below threshold
+		if g.OnACT(0, 7, now) != nil {
+			t.Fatal("triggered below threshold")
+		}
+		now += timing.NS(46)
+	}
+	// Jump past the window: counters reset, so 99 more ACTs still no trigger.
+	now += timing.Millisecond
+	for i := 0; i < 99; i++ {
+		if g.OnACT(0, 7, now) != nil {
+			t.Fatalf("triggered at %d after window reset", i)
+		}
+		now += timing.NS(46)
+	}
+}
+
+func TestPARASamplingRate(t *testing.T) {
+	h := hammer.Config{HCnt: 4096, BlastRadius: 3}
+	pa := NewPARA(h, 1<<16, 9)
+	want := pa.Probability()
+	if want <= 0 || want >= 1 {
+		t.Fatalf("probability %g out of range", want)
+	}
+	const acts = 200000
+	trrs := 0
+	now := timing.Tick(0)
+	for i := 0; i < acts; i++ {
+		if act := pa.OnACT(0, 1000, now); act != nil {
+			trrs += len(act.TRR)
+		}
+		now += timing.NS(46)
+	}
+	got := float64(trrs) / acts
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("sampling rate %.5f, want ~%.5f", got, want)
+	}
+}
+
+func TestPARAVictimsWithinBlast(t *testing.T) {
+	h := hammer.Config{HCnt: 64, BlastRadius: 3} // p saturates to 1
+	pa := NewPARA(h, 1<<10, 3)
+	if pa.Probability() != 1 {
+		t.Fatalf("probability %g, want saturation at 1", pa.Probability())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		act := pa.OnACT(0, 100, 0)
+		if act == nil {
+			t.Fatal("p=1 PARA skipped an ACT")
+		}
+		v := act.TRR[0]
+		d := v - 100
+		if d < 0 {
+			d = -d
+		}
+		if d > 3 {
+			t.Fatalf("victim %d outside blast radius", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("only %d distinct victims sampled, want all 6", len(seen))
+	}
+}
+
+func TestPARAEdgeRows(t *testing.T) {
+	h := hammer.Config{HCnt: 64, BlastRadius: 3}
+	pa := NewPARA(h, 8, 3)
+	for i := 0; i < 200; i++ {
+		act := pa.OnACT(0, 0, 0)
+		if act == nil {
+			continue
+		}
+		if v := act.TRR[0]; v < 0 || v >= 8 {
+			t.Fatalf("victim %d escaped the bank", v)
+		}
+	}
+}
+
+func TestPARAHigherHcntLowerRate(t *testing.T) {
+	a := NewPARA(hammer.Config{HCnt: 2048, BlastRadius: 3}, 0, 1)
+	b := NewPARA(hammer.Config{HCnt: 16384, BlastRadius: 3}, 0, 1)
+	if b.Probability() >= a.Probability() {
+		t.Fatalf("p(16K)=%g should be below p(2K)=%g", b.Probability(), a.Probability())
+	}
+}
+
+func TestPanopticonDefendsSingleRow(t *testing.T) {
+	const hcnt = 128
+	pn := NewPanopticon(hcnt, 3)
+	d := newDevice(t, pn, hcnt)
+	drive(t, d, 0, 16, 8*hcnt)
+	if d.FlipCount() != 0 {
+		t.Fatalf("panopticon flipped %d bits", d.FlipCount())
+	}
+	if pn.Refreshes == 0 {
+		t.Fatal("no refreshes issued")
+	}
+	if pn.Name() != "panopticon" {
+		t.Fatal("bad name")
+	}
+}
+
+func TestPanopticonQueuesUntilRFM(t *testing.T) {
+	pn := NewPanopticon(16, 1) // threshold 8
+	d := newDevice(t, pn, 1<<20)
+	p := d.Params()
+	now := timing.Tick(0)
+	// 8 ACTs cross the threshold for both neighbors; no RFM yet.
+	for i := 0; i < 8; i++ {
+		if err := d.Activate(0, 16, now); err != nil {
+			t.Fatal(err)
+		}
+		now += p.RAS
+		if err := d.Precharge(0, now); err != nil {
+			t.Fatal(err)
+		}
+		now += p.RP
+	}
+	if pn.PendingRefreshes(0) != 2 {
+		t.Fatalf("pending = %d, want 2", pn.PendingRefreshes(0))
+	}
+	if err := d.RFM(0, now); err != nil {
+		t.Fatal(err)
+	}
+	if pn.PendingRefreshes(0) != 0 {
+		t.Fatal("RFM did not drain the queue")
+	}
+	if pn.Refreshes != 2 {
+		t.Fatalf("Refreshes = %d, want 2", pn.Refreshes)
+	}
+}
+
+// TestPanopticonBlastDilution: under a blast attack the per-victim counters
+// grow at half rate per distance step, so the refresh *rate* Panopticon must
+// sustain grows with the radius — the Section IX inefficiency.
+func TestPanopticonBlastDilution(t *testing.T) {
+	refreshes := func(blast int) int64 {
+		pn := NewPanopticon(64, blast)
+		d := newDevice(t, pn, 1<<20)
+		drive(t, d, 0, 16, 512)
+		return pn.Refreshes
+	}
+	if r3, r1 := refreshes(3), refreshes(1); r3 <= r1 {
+		t.Fatalf("blast-3 refreshes (%d) should exceed blast-1 (%d)", r3, r1)
+	}
+}

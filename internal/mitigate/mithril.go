@@ -1,0 +1,76 @@
+package mitigate
+
+import (
+	"fmt"
+
+	"shadow/internal/dram"
+	"shadow/internal/timing"
+)
+
+// Mithril is the DRAM-side tracker baseline (Kim et al., HPCA 2022): each
+// bank runs a Counter-based-Summary tracker over activated rows; on every
+// RFM, the row with the highest count receives TRR on its victims and its
+// counter is demoted to the table minimum. The paper evaluates two
+// configurations: Mithril-perf (a ~10 KB-per-bank CAM, expensive in DRAM
+// technology) and Mithril-area (a small table with RAAIMT pinned to 32).
+type Mithril struct {
+	entries int
+	blast   int
+	banks   map[int]*Tracker
+
+	// Stats
+	TRRs int64
+}
+
+var _ dram.Mitigator = (*Mithril)(nil)
+
+// NewMithril returns a Mithril mitigator with the given per-bank tracker
+// capacity and protected blast radius.
+func NewMithril(entries, blast int) *Mithril {
+	if entries <= 0 {
+		panic("mitigate: mithril needs a positive tracker size")
+	}
+	return &Mithril{entries: entries, blast: blast, banks: make(map[int]*Tracker)}
+}
+
+// Name implements dram.Mitigator.
+func (m *Mithril) Name() string { return fmt.Sprintf("mithril-%d", m.entries) }
+
+// TableEntries returns the per-bank tracker capacity.
+func (m *Mithril) TableEntries() int { return m.entries }
+
+// TableBytesPerBank estimates the CAM cost: each entry stores a row address
+// (~17 bits for a DDR5 bank) plus a counter (~20 bits), ~5 bytes per entry.
+func (m *Mithril) TableBytesPerBank() int { return m.entries * 5 }
+
+func (m *Mithril) tracker(id int) *Tracker {
+	t, ok := m.banks[id]
+	if !ok {
+		t = NewTracker(m.entries)
+		m.banks[id] = t
+	}
+	return t
+}
+
+// Translate implements dram.Mitigator (identity).
+func (m *Mithril) Translate(b *dram.Bank, paRow int) (int, int) {
+	return b.Geometry().SubarrayOf(paRow)
+}
+
+// OnACT implements dram.Mitigator: feed the tracker.
+func (m *Mithril) OnACT(b *dram.Bank, paRow, sub, da int, now timing.Tick) {
+	m.tracker(b.ID()).Observe(paRow)
+}
+
+// OnRFM implements dram.Mitigator: TRR the victims of the hottest row.
+func (m *Mithril) OnRFM(b *dram.Bank, now timing.Tick) {
+	t := m.tracker(b.ID())
+	row, _, ok := t.Top()
+	if !ok {
+		return
+	}
+	sub, da := b.Geometry().SubarrayOf(row)
+	trrVictims(b, sub, da, m.blast)
+	t.Mitigated(row)
+	m.TRRs++
+}

@@ -1,0 +1,106 @@
+package mitigate
+
+import (
+	"shadow/internal/dram"
+	"shadow/internal/timing"
+)
+
+// Panopticon is the tracker-less in-DRAM baseline from the paper's related
+// work (Bennett et al., DRAMSec 2021): a counter per DRAM row, held in
+// modified mat structures inside the device, incremented on every activation
+// of a neighbor; when a row's counter crosses the threshold the device
+// refreshes it and resets the counter. Perfect per-row information — but its
+// TRR action still chases victims, so blast-attacks dilute it exactly as
+// Section IX argues (one mitigation per victim, 2*blast victims per
+// aggressor), and the counter mats cost area on every mat.
+//
+// This implementation piggybacks the refresh work on RFM commands (the
+// in-DRAM maintenance slot of this codebase); rows whose counters crossed
+// the threshold queue up and drain at each RFM.
+type Panopticon struct {
+	threshold float64
+	blast     int
+
+	// counters[bank] tracks per-DA pressure; lazily allocated per subarray
+	// like the device's own structures. Indexed [bank][sub][da].
+	counters map[int]map[int][]float64
+	pending  map[int][]pendingRefresh
+
+	// Stats
+	Refreshes int64
+}
+
+type pendingRefresh struct{ sub, da int }
+
+var _ dram.Mitigator = (*Panopticon)(nil)
+
+// NewPanopticon returns the per-row-counter mitigator. The refresh threshold
+// is the blast-adjusted H_cnt halved (refresh well before danger).
+func NewPanopticon(hcnt, blast int) *Panopticon {
+	w := 0.0
+	for d := 1; d <= blast; d++ {
+		w += 2.0 / float64(int(1)<<(d-1))
+	}
+	return &Panopticon{
+		threshold: float64(hcnt) / 2,
+		blast:     blast,
+		counters:  make(map[int]map[int][]float64),
+		pending:   make(map[int][]pendingRefresh),
+	}
+}
+
+// Name implements dram.Mitigator.
+func (pn *Panopticon) Name() string { return "panopticon" }
+
+// Translate implements dram.Mitigator (identity mapping).
+func (pn *Panopticon) Translate(b *dram.Bank, paRow int) (int, int) {
+	return b.Geometry().SubarrayOf(paRow)
+}
+
+func (pn *Panopticon) subCounters(b *dram.Bank, sub int) []float64 {
+	bankC, ok := pn.counters[b.ID()]
+	if !ok {
+		bankC = make(map[int][]float64)
+		pn.counters[b.ID()] = bankC
+	}
+	c, ok := bankC[sub]
+	if !ok {
+		c = make([]float64, b.Geometry().DARowsPerSubarray())
+		bankC[sub] = c
+	}
+	return c
+}
+
+// OnACT implements dram.Mitigator: bump the neighbors' counters; queue any
+// that crossed the threshold.
+func (pn *Panopticon) OnACT(b *dram.Bank, paRow, sub, da int, now timing.Tick) {
+	c := pn.subCounters(b, sub)
+	for d := 1; d <= pn.blast; d++ {
+		w := 1.0 / float64(int(1)<<(d-1))
+		for _, v := range [2]int{da - d, da + d} {
+			if v < 0 || v >= len(c) {
+				continue
+			}
+			c[v] += w
+			if c[v] >= pn.threshold {
+				c[v] = 0
+				pn.pending[b.ID()] = append(pn.pending[b.ID()], pendingRefresh{sub: sub, da: v})
+			}
+		}
+	}
+	// The activated row itself is restored by its own ACT.
+	c[da] = 0
+}
+
+// OnRFM implements dram.Mitigator: drain the queued refreshes.
+func (pn *Panopticon) OnRFM(b *dram.Bank, now timing.Tick) {
+	q := pn.pending[b.ID()]
+	for _, r := range q {
+		b.RefreshRow(r.sub, r.da)
+		pn.Refreshes++
+	}
+	pn.pending[b.ID()] = q[:0]
+}
+
+// PendingRefreshes reports queued-but-unserved refreshes for a bank (tests).
+func (pn *Panopticon) PendingRefreshes(bank int) int { return len(pn.pending[bank]) }

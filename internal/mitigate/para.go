@@ -1,0 +1,68 @@
+package mitigate
+
+import (
+	"math"
+
+	"shadow/internal/hammer"
+	"shadow/internal/rng"
+	"shadow/internal/timing"
+)
+
+// PARA is the classic stateless probabilistic defense (Kim et al., ISCA
+// 2014), implemented at the MC: every activation triggers, with probability
+// p, a target-row-refresh of one uniformly chosen victim within the blast
+// radius. No tracking state exists; protection is purely probabilistic, and
+// the required p — hence the performance cost — grows quickly as H_cnt
+// falls (the paper's Section IX criticism).
+type PARA struct {
+	p     float64
+	blast int
+	rows  int
+	src   rng.Source
+
+	// Stats
+	Samples int64
+}
+
+var _ MCSide = (*PARA)(nil)
+
+// NewPARA returns a PARA policy with probability chosen for the target
+// failure rate: an aggressor evades all H_cnt/2 coin flips per side with
+// probability (1-p/2)^(H_cnt/2); solving for a 1e-15-per-attack bound gives
+// p = 2 * ln(1e15) / (H_cnt/2).
+func NewPARA(h hammer.Config, rowsPerBank int, seed uint64) *PARA {
+	p := 2 * math.Log(1e15) / (float64(h.HCnt) / h.WSum() / 2)
+	if p > 1 {
+		p = 1
+	}
+	return &PARA{p: p, blast: h.BlastRadius, rows: rowsPerBank, src: rng.NewCSPRNG(seed)}
+}
+
+// Name implements MCSide.
+func (pa *PARA) Name() string { return "para" }
+
+// Probability returns the per-ACT sampling probability.
+func (pa *PARA) Probability() float64 { return pa.p }
+
+// TranslateRow implements MCSide (identity).
+func (pa *PARA) TranslateRow(bank, paRow int) int { return paRow }
+
+// ACTAllowedAt implements MCSide (no throttling).
+func (pa *PARA) ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tick { return now }
+
+// OnACT implements MCSide: flip the coin, refresh one victim.
+func (pa *PARA) OnACT(bank, paRow int, now timing.Tick) *Action {
+	if rng.Float64(pa.src) >= pa.p {
+		return nil
+	}
+	pa.Samples++
+	d := 1 + rng.Intn(pa.src, pa.blast)
+	v := paRow - d
+	if rng.Intn(pa.src, 2) == 1 {
+		v = paRow + d
+	}
+	if v < 0 || (pa.rows > 0 && v >= pa.rows) {
+		v = paRow // edge: refresh the aggressor itself (harmless)
+	}
+	return &Action{TRR: []int{v}}
+}

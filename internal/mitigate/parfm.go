@@ -1,0 +1,80 @@
+package mitigate
+
+import (
+	"shadow/internal/dram"
+	"shadow/internal/rng"
+	"shadow/internal/timing"
+)
+
+// trrVictims refreshes every victim of aggressor DA row (both sides of the
+// blast radius) — the TRR mitigating action shared by PARFM and Mithril.
+// TRR uses the refresh path, which restores charge without disturbing
+// neighbors (unlike ordinary activations).
+func trrVictims(b *dram.Bank, sub, da, blast int) {
+	daRows := b.Geometry().DARowsPerSubarray()
+	for d := 1; d <= blast; d++ {
+		for _, v := range [2]int{da - d, da + d} {
+			if v >= 0 && v < daRows {
+				b.RefreshRow(sub, v)
+			}
+		}
+	}
+}
+
+// PARFM is PARA on the RFM interface (the paper's "PARFM" baseline,
+// following Mithril's formulation): the DRAM device samples one row
+// uniformly from the activations since the previous RFM and, on the RFM,
+// refreshes that row's victims. Identity PA-to-DA mapping throughout.
+type PARFM struct {
+	src   rng.Source
+	blast int
+
+	// per-bank reservoir sample
+	sampled map[int]int
+	n       map[int]int
+
+	// Stats
+	TRRs int64
+}
+
+var _ dram.Mitigator = (*PARFM)(nil)
+
+// NewPARFM returns a PARFM mitigator protecting the given blast radius.
+func NewPARFM(blast int, seed uint64) *PARFM {
+	return &PARFM{
+		src:     rng.NewCSPRNG(seed),
+		blast:   blast,
+		sampled: make(map[int]int),
+		n:       make(map[int]int),
+	}
+}
+
+// Name implements dram.Mitigator.
+func (m *PARFM) Name() string { return "parfm" }
+
+// Translate implements dram.Mitigator (identity).
+func (m *PARFM) Translate(b *dram.Bank, paRow int) (int, int) {
+	return b.Geometry().SubarrayOf(paRow)
+}
+
+// OnACT implements dram.Mitigator (reservoir sampling, stateless otherwise).
+func (m *PARFM) OnACT(b *dram.Bank, paRow, sub, da int, now timing.Tick) {
+	id := b.ID()
+	m.n[id]++
+	if rng.Intn(m.src, m.n[id]) == 0 {
+		m.sampled[id] = paRow
+	}
+}
+
+// OnRFM implements dram.Mitigator: TRR the sampled row's victims.
+func (m *PARFM) OnRFM(b *dram.Bank, now timing.Tick) {
+	id := b.ID()
+	if m.n[id] == 0 {
+		return
+	}
+	pa := m.sampled[id]
+	m.n[id] = 0
+	sub, da := b.Geometry().SubarrayOf(pa)
+	trrVictims(b, sub, da, m.blast)
+	m.TRRs++
+}

@@ -1,0 +1,107 @@
+package mitigate
+
+// Tracker is a Counter-based-Summary frequent-items tracker (the
+// Space-Saving variant of the Misra-Gries family) as used per bank by
+// Mithril (its "CbS algorithm") and by RRS's aggressor tracker. It
+// guarantees that any row activated more than N/capacity times since the
+// last reset is present in the table.
+type Tracker struct {
+	cap    int
+	counts map[int]int64
+	total  int64
+}
+
+// NewTracker returns a tracker with the given entry capacity (the CAM size
+// of the hardware implementation).
+func NewTracker(capacity int) *Tracker {
+	if capacity <= 0 {
+		panic("mitigate: tracker capacity must be positive")
+	}
+	return &Tracker{cap: capacity, counts: make(map[int]int64, capacity)}
+}
+
+// Cap returns the entry capacity.
+func (t *Tracker) Cap() int { return t.cap }
+
+// Total returns the number of Observe calls since the last Reset.
+func (t *Tracker) Total() int64 { return t.total }
+
+// Len returns the number of occupied entries.
+func (t *Tracker) Len() int { return len(t.counts) }
+
+// Observe records one activation of row and returns the row's current
+// estimated count.
+func (t *Tracker) Observe(row int) int64 {
+	t.total++
+	if c, ok := t.counts[row]; ok {
+		t.counts[row] = c + 1
+		return c + 1
+	}
+	if len(t.counts) < t.cap {
+		t.counts[row] = 1
+		return 1
+	}
+	// Space-Saving replacement: evict a minimum-count entry and take over
+	// its count + 1 (an overestimate, never an underestimate).
+	minRow, minCount := -1, int64(1)<<62
+	for r, c := range t.counts {
+		if c < minCount {
+			minRow, minCount = r, c
+		}
+	}
+	delete(t.counts, minRow)
+	t.counts[row] = minCount + 1
+	return minCount + 1
+}
+
+// Count returns the estimated count of a row (0 if untracked).
+func (t *Tracker) Count(row int) int64 { return t.counts[row] }
+
+// Top returns the row with the highest estimated count, or ok=false when the
+// table is empty.
+func (t *Tracker) Top() (row int, count int64, ok bool) {
+	best, bestC := -1, int64(-1)
+	for r, c := range t.counts {
+		if c > bestC || (c == bestC && r < best) {
+			best, bestC = r, c
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestC, true
+}
+
+// Mitigated informs the tracker that row received a mitigating action:
+// per Mithril, its counter drops to the current table minimum so it must
+// re-earn its position before being mitigated again.
+func (t *Tracker) Mitigated(row int) {
+	if _, ok := t.counts[row]; !ok {
+		return
+	}
+	min := int64(1) << 62
+	for _, c := range t.counts {
+		if c < min {
+			min = c
+		}
+	}
+	t.counts[row] = min
+}
+
+// ResetRow zeroes a row's counter in place (Graphene restarts a mitigated
+// row's count; unlike Mitigated, the entry does not inherit the table
+// minimum).
+func (t *Tracker) ResetRow(row int) {
+	if _, ok := t.counts[row]; ok {
+		t.counts[row] = 0
+	}
+}
+
+// Remove drops a row from the table (RRS removes a row after swapping it).
+func (t *Tracker) Remove(row int) { delete(t.counts, row) }
+
+// Reset clears the table (refresh-window boundary).
+func (t *Tracker) Reset() {
+	t.counts = make(map[int]int64, t.cap)
+	t.total = 0
+}

@@ -1,0 +1,62 @@
+package power
+
+import "shadow/internal/dram"
+
+// AreaModel reproduces the Section VII-D synthesis analysis: the SHADOW
+// logic was written in Verilog, synthesized at CMOS 40 nm, and scaled to a
+// 22 nm DRAM process with the standard 10x density penalty (DRAM processes
+// offer weaker drive current and fewer metal layers). Per-component areas
+// below are the scaled values; the calculator aggregates them over a chip's
+// organization. Unlike every tracker-based scheme, none of these terms
+// depends on H_cnt.
+type AreaModel struct {
+	// ControllerPerBank covers the per-bank SHADOW controller: the ACT
+	// counter, six 9-bit row-address latches, the 7-bit subarray index
+	// latch, the column-decoder MUX, and control logic. mm^2.
+	ControllerPerBank float64
+	// PerSubarray covers each subarray's added MUX and DEMUX on the
+	// LIO/decoder paths. mm^2.
+	PerSubarray float64
+	// RNG is the per-chip PRINCE-based CSPRNG unit. mm^2.
+	RNG float64
+	// IsolationPerSubarray covers the isolation transistors and their
+	// drivers for the remapping-row segment. mm^2.
+	IsolationPerSubarray float64
+	// ChipArea is the DDR5 die size used as the denominator (16 Gb die,
+	// ISSCC'19). mm^2.
+	ChipArea float64
+}
+
+// DefaultAreaModel returns the calibrated component areas.
+func DefaultAreaModel() *AreaModel {
+	return &AreaModel{
+		ControllerPerBank:    0.0050,
+		PerSubarray:          0.000030,
+		IsolationPerSubarray: 0.000010,
+		RNG:                  0.025,
+		ChipArea:             74.0,
+	}
+}
+
+// LogicArea returns the total added logic area in mm^2 for a chip with the
+// given organization.
+func (m *AreaModel) LogicArea(g dram.Geometry) float64 {
+	subs := float64(g.Banks * g.SubarraysPerBank)
+	return m.ControllerPerBank*float64(g.Banks) +
+		(m.PerSubarray+m.IsolationPerSubarray)*subs +
+		m.RNG
+}
+
+// AreaOverhead returns the logic area as a fraction of the chip (the paper
+// reports 0.47% for the DDR5 organization).
+func (m *AreaModel) AreaOverhead(g dram.Geometry) float64 {
+	return m.LogicArea(g) / m.ChipArea
+}
+
+// CapacityOverhead returns the DRAM capacity sacrificed per subarray: the
+// empty row (Row_empt), the remapping-row, and the isolation dummy segment,
+// relative to the 512 addressable rows — the paper's 0.6%.
+func (m *AreaModel) CapacityOverhead(g dram.Geometry) float64 {
+	extraRows := float64(g.ExtraRows) + 2 // + remapping-row + isolation dummy
+	return extraRows / float64(g.RowsPerSubarray)
+}

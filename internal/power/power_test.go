@@ -1,0 +1,167 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"shadow/internal/dram"
+	"shadow/internal/memctrl"
+	"shadow/internal/timing"
+)
+
+func activityFor(acts int64, shadowOn bool, dur timing.Tick) Activity {
+	a := Activity{
+		Acts:     acts,
+		Reads:    acts * 4,
+		Writes:   acts,
+		Refs:     int64(dur / (7800 * timing.Nanosecond)),
+		Duration: dur,
+	}
+	if shadowOn {
+		a.RemapAccesses = acts
+		a.RFMs = acts / 64
+		a.RowCopies = 2 * a.RFMs
+		a.IncRefreshes = a.RFMs
+	}
+	return a
+}
+
+func TestDRAMPowerPlausible(t *testing.T) {
+	m := DefaultModel()
+	// Memory-intensive: one ACT per 100ns per rank.
+	dur := 10 * timing.Millisecond
+	a := activityFor(int64(dur/(100*timing.Nanosecond)), false, dur)
+	p := m.DRAMPower(a)
+	if p < 1 || p > 15 {
+		t.Fatalf("DRAM power %.2f W implausible for an active DDR4 rank", p)
+	}
+	// Idle: background only.
+	idle := m.DRAMPower(Activity{Duration: dur})
+	if math.Abs(idle-m.PBackground) > 1e-9 {
+		t.Fatalf("idle power %.3f, want background %.3f", idle, m.PBackground)
+	}
+}
+
+// TestShadowSystemPowerUnderPaperBound: the paper reports <0.63% system
+// power increase even at H_cnt 2K (RAAIMT 32) on memory-intensive loads.
+func TestShadowSystemPowerUnderPaperBound(t *testing.T) {
+	m := DefaultModel()
+	dur := 10 * timing.Millisecond
+	acts := int64(dur / (100 * timing.Nanosecond))
+	base := activityFor(acts, false, dur)
+	sh := activityFor(acts, true, dur)
+	sh.RFMs = acts / 32 // H_cnt 2K operating point
+	sh.RowCopies = 2 * sh.RFMs
+	sh.IncRefreshes = sh.RFMs
+	rel := m.RelativeSystemPower(sh, base)
+	if rel <= 1.0 {
+		t.Fatalf("SHADOW power ratio %.4f should exceed 1", rel)
+	}
+	if rel > 1.0063 {
+		t.Fatalf("system power increase %.3f%% exceeds the paper's 0.63%%", (rel-1)*100)
+	}
+}
+
+// TestPowerDominatedByRemapAccesses: the paper observes SHADOW's added power
+// is dominated by the per-ACT remapping-row accesses, not the shuffles.
+func TestPowerDominatedByRemapAccesses(t *testing.T) {
+	m := DefaultModel()
+	dur := 10 * timing.Millisecond
+	acts := int64(dur / (100 * timing.Nanosecond))
+	full := activityFor(acts, true, dur)
+	noRemap := full
+	noRemap.RemapAccesses = 0
+	noShuffle := full
+	noShuffle.RowCopies, noShuffle.IncRefreshes, noShuffle.RFMs = 0, 0, 0
+
+	base := activityFor(acts, false, dur)
+	remapCost := m.DRAMEnergy(full) - m.DRAMEnergy(noRemap)
+	shuffleCost := m.DRAMEnergy(full) - m.DRAMEnergy(noShuffle)
+	if remapCost <= shuffleCost {
+		t.Fatalf("remap cost %.0f nJ should dominate shuffle cost %.0f nJ", remapCost, shuffleCost)
+	}
+	_ = base
+}
+
+func TestMoreRFMsMorePower(t *testing.T) {
+	m := DefaultModel()
+	dur := 10 * timing.Millisecond
+	acts := int64(dur / (100 * timing.Nanosecond))
+	mk := func(raaimt int64) float64 {
+		a := activityFor(acts, true, dur)
+		a.RFMs = acts / raaimt
+		a.RowCopies = 2 * a.RFMs
+		a.IncRefreshes = a.RFMs
+		return m.DRAMPower(a)
+	}
+	if !(mk(32) > mk(64) && mk(64) > mk(128)) {
+		t.Fatal("power not monotonic in RFM frequency")
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	mc := memctrl.Stats{Acts: 10, Reads: 20, Writes: 5, Refs: 2, RFMs: 1}
+	a := FromStats(mc, 2, 1, 10, timing.Millisecond)
+	if a.Acts != 10 || a.RowCopies != 2 || a.RemapAccesses != 10 || a.Duration != timing.Millisecond {
+		t.Fatalf("FromStats = %+v", a)
+	}
+}
+
+func TestZeroDuration(t *testing.T) {
+	if DefaultModel().DRAMPower(Activity{}) != 0 {
+		t.Fatal("zero-duration power should be 0")
+	}
+}
+
+// TestAreaOverheadMatchesPaper: 0.47% of a DDR5 chip, ~0.35 mm^2, and 0.6%
+// capacity overhead.
+func TestAreaOverheadMatchesPaper(t *testing.T) {
+	am := DefaultAreaModel()
+	g := dram.DefaultGeometry(true)
+	area := am.LogicArea(g)
+	if math.Abs(area-0.35) > 0.05 {
+		t.Errorf("logic area %.3f mm^2, paper reports 0.35", area)
+	}
+	ov := am.AreaOverhead(g)
+	if math.Abs(ov-0.0047) > 0.0007 {
+		t.Errorf("area overhead %.4f, paper reports 0.47%%", ov)
+	}
+	cap := am.CapacityOverhead(g)
+	if math.Abs(cap-0.006) > 0.0005 {
+		t.Errorf("capacity overhead %.4f, paper reports 0.6%%", cap)
+	}
+}
+
+// TestAreaIndependentOfHCnt is the paper's key scaling claim: SHADOW's area
+// has no H_cnt term at all (unlike tracker-based schemes whose tables grow
+// as H_cnt falls). The model's inputs are purely geometric.
+func TestAreaIndependentOfHCnt(t *testing.T) {
+	am := DefaultAreaModel()
+	g := dram.DefaultGeometry(true)
+	a := am.LogicArea(g)
+	// Nothing about H_cnt exists to vary; assert the computation is pure
+	// geometry by recomputing.
+	if am.LogicArea(g) != a {
+		t.Fatal("area model not deterministic")
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	m := DefaultModel()
+	dur := 5 * timing.Millisecond
+	a := activityFor(int64(dur/(120*timing.Nanosecond)), true, dur)
+	parts := m.Breakdown(a)
+	sum := 0.0
+	for _, v := range parts {
+		sum += v
+	}
+	if total := m.DRAMEnergy(a); math.Abs(sum-total)/total > 1e-9 {
+		t.Fatalf("breakdown sum %.1f != total %.1f", sum, total)
+	}
+	// The SHADOW-added components: remap accesses dominate shuffle work.
+	added := parts["remap-access"]
+	shuffle := parts["row-copy"] + parts["inc-refresh"] + parts["rfm"]
+	if added <= shuffle {
+		t.Fatalf("remap access %.0f nJ should dominate shuffle %.0f nJ", added, shuffle)
+	}
+}

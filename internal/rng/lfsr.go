@@ -1,0 +1,67 @@
+package rng
+
+// LFSR is the low-area alternative random source discussed in Section VIII:
+// a 64-bit maximal-length Galois linear-feedback shift register whose seed
+// is periodically randomized (here: rekeyed from a PRINCE stream every
+// ReseedInterval outputs). Recent DDR5 chips already carry an LFSR for read
+// training patterns, which is the paper's argument for its negligible cost.
+type LFSR struct {
+	state uint64
+	// reseeder, when non-nil, refreshes the state every ReseedInterval
+	// outputs, closing the predictability hole of a bare LFSR.
+	reseeder Source
+	interval int
+	produced int
+}
+
+var _ Source = (*LFSR)(nil)
+
+// lfsrTaps is the feedback polynomial x^64 + x^63 + x^61 + x^60 + 1,
+// a maximal-length polynomial for a 64-bit Galois LFSR.
+const lfsrTaps = 0xD800000000000003 >> 2 << 2 // 0xD800000000000000
+
+// NewLFSR returns a bare LFSR seeded with seed (zero is mapped to a fixed
+// nonzero value, since the all-zero state is a fixed point).
+func NewLFSR(seed uint64) *LFSR {
+	if seed == 0 {
+		seed = 0x1
+	}
+	return &LFSR{state: seed}
+}
+
+// NewReseededLFSR returns an LFSR that pulls a fresh state from reseeder
+// every interval outputs — the configuration the paper recommends.
+func NewReseededLFSR(seed uint64, reseeder Source, interval int) *LFSR {
+	l := NewLFSR(seed)
+	l.reseeder = reseeder
+	l.interval = interval
+	return l
+}
+
+// step advances the register one bit.
+func (l *LFSR) step() uint64 {
+	lsb := l.state & 1
+	l.state >>= 1
+	if lsb != 0 {
+		l.state ^= lfsrTaps
+	}
+	return lsb
+}
+
+// Uint64 implements Source by clocking the register 64 times.
+func (l *LFSR) Uint64() uint64 {
+	if l.reseeder != nil && l.interval > 0 && l.produced >= l.interval {
+		l.produced = 0
+		s := l.reseeder.Uint64()
+		if s == 0 {
+			s = 1
+		}
+		l.state = s
+	}
+	var v uint64
+	for i := 0; i < 64; i++ {
+		v = v<<1 | l.step()
+	}
+	l.produced++
+	return v
+}

@@ -1,0 +1,101 @@
+package security
+
+import (
+	"fmt"
+
+	"shadow/internal/dram"
+	"shadow/internal/hammer"
+	"shadow/internal/shadow"
+	"shadow/internal/sim"
+	"shadow/internal/timing"
+	"shadow/internal/trace"
+)
+
+// MonteCarlo mounts real attack patterns against the actual SHADOW
+// implementation (not the closed-form model) on a scaled-down device and
+// measures the empirical bit-flip rate. The closed-form Table II values are
+// far below anything samplable, so the Monte Carlo uses small H_cnt and
+// subarray sizes to put the flip probability in a measurable range; its role
+// is validating the *model shape*: scenario ordering, the effect of RAAIMT,
+// and SHADOW-vs-baseline.
+type MonteCarloConfig struct {
+	// HCnt and RAAIMT define the (scaled) operating point.
+	HCnt, RAAIMT int
+	// RowsPerSubarray shrinks the shuffle space to make flips samplable.
+	RowsPerSubarray int
+	// ActsPerTrial bounds each trial's activations.
+	ActsPerTrial int64
+	// Trials is the number of independent runs.
+	Trials int
+	// Shadow disables the mitigation when false (unprotected baseline).
+	Shadow bool
+	// BlastRadius for the fault model (default 3).
+	BlastRadius int
+}
+
+// MonteCarloResult reports the empirical flip statistics.
+type MonteCarloResult struct {
+	Trials, FlippedTrials int
+	TotalFlips            int
+	TotalActs             int64
+	Shuffles              int64
+}
+
+// FlipRate returns the fraction of trials with at least one flip.
+func (r MonteCarloResult) FlipRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.FlippedTrials) / float64(r.Trials)
+}
+
+// PatternFactory builds a fresh attack pattern per trial.
+type PatternFactory func(trial int, g dram.Geometry) trace.Pattern
+
+// RunMonteCarlo executes the trials.
+func RunMonteCarlo(cfg MonteCarloConfig, mk PatternFactory) (MonteCarloResult, error) {
+	if cfg.Trials <= 0 || cfg.ActsPerTrial <= 0 {
+		return MonteCarloResult{}, fmt.Errorf("security: trials and acts must be positive")
+	}
+	if cfg.BlastRadius == 0 {
+		cfg.BlastRadius = 3
+	}
+	geo := dram.Geometry{
+		Banks:            2,
+		SubarraysPerBank: 4,
+		RowsPerSubarray:  cfg.RowsPerSubarray,
+		RowBytes:         64,
+		ExtraRows:        1,
+	}
+	var res MonteCarloResult
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p := timing.NewParams(timing.DDR5_4800).WithRAAIMT(cfg.RAAIMT)
+		var mit dram.Mitigator
+		var ctrl *shadow.Controller
+		if cfg.Shadow {
+			ctrl = shadow.New(shadow.Options{Seed: uint64(trial)*2654435761 + 1})
+			mit = ctrl
+		}
+		out, err := sim.RunAttack(sim.AttackConfig{
+			Params:    p,
+			Geometry:  geo,
+			Hammer:    hammer.Config{HCnt: cfg.HCnt, BlastRadius: cfg.BlastRadius},
+			DeviceMit: mit,
+			MaxActs:   cfg.ActsPerTrial,
+			Duration:  timing.Forever / 2,
+		}, mk(trial, geo))
+		if err != nil {
+			return res, err
+		}
+		res.Trials++
+		res.TotalActs += out.Acts
+		res.TotalFlips += out.Flips
+		if out.Flips > 0 {
+			res.FlippedTrials++
+		}
+		if ctrl != nil {
+			res.Shuffles += ctrl.Stats.Shuffles
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package security
+
+import (
+	"shadow/internal/dram"
+	"shadow/internal/hammer"
+	"shadow/internal/rng"
+	"shadow/internal/shadow"
+	"shadow/internal/timing"
+)
+
+// Memory templating (Section II-C) is the attack phase that discovers which
+// physical addresses are DRAM-adjacent so the second phase can aim at a
+// chosen victim. Against a static PA-to-DA mapping, templates stay valid
+// forever; SHADOW's claim (Section III-A) is that shuffling invalidates them
+// faster than an attacker can exploit them. TemplatingDecay measures this
+// directly on the real implementation: the fraction of initially adjacent
+// PA row pairs that are still physically adjacent after the device has
+// performed a given number of row-shuffles.
+
+// DecayPoint is one (shuffles, valid-fraction) sample.
+type DecayPoint struct {
+	Shuffles int64
+	// ValidFraction is the share of PA pairs (i, i+1) within the hammered
+	// subarray whose device rows are still adjacent.
+	ValidFraction float64
+}
+
+// TemplatingConfig scales the measurement.
+type TemplatingConfig struct {
+	// RowsPerSubarray for the scaled device (default 64).
+	RowsPerSubarray int
+	// RAAIMT for the RFM interface (default 16).
+	RAAIMT int
+	// Checkpoints are the shuffle counts to sample (default 0..64 by 8).
+	Checkpoints []int64
+	Seed        uint64
+}
+
+// MeasureTemplatingDecay drives uniform-random activations through a
+// SHADOW-protected bank and samples template validity at each checkpoint.
+// Traffic is confined to one subarray so every shuffle hits the templated
+// region (the attacker's worst case is the defender's best measurement).
+func MeasureTemplatingDecay(cfg TemplatingConfig) ([]DecayPoint, error) {
+	if cfg.RowsPerSubarray == 0 {
+		cfg.RowsPerSubarray = 64
+	}
+	if cfg.RAAIMT == 0 {
+		cfg.RAAIMT = 16
+	}
+	if len(cfg.Checkpoints) == 0 {
+		for s := int64(0); s <= 64; s += 8 {
+			cfg.Checkpoints = append(cfg.Checkpoints, s)
+		}
+	}
+	geo := dram.Geometry{
+		Banks:            1,
+		SubarraysPerBank: 2,
+		RowsPerSubarray:  cfg.RowsPerSubarray,
+		RowBytes:         (cfg.RowsPerSubarray*2*10)/8 + 16,
+		ExtraRows:        1,
+	}
+	params := timing.NewParams(timing.DDR5_4800).WithRAAIMT(cfg.RAAIMT)
+	ctrl := shadow.New(shadow.Options{Seed: cfg.Seed + 1})
+	dev, err := dram.NewDevice(dram.Config{
+		Geometry:  geo,
+		Params:    params,
+		Hammer:    hammer.Config{HCnt: 1 << 30, BlastRadius: 3},
+		Mitigator: ctrl,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	src := rng.NewSplitMix(cfg.Seed + 2)
+	now := timing.Tick(0)
+	var out []DecayPoint
+	ci := 0
+	for ci < len(cfg.Checkpoints) {
+		if ctrl.Stats.Shuffles >= cfg.Checkpoints[ci] {
+			out = append(out, DecayPoint{
+				Shuffles:      ctrl.Stats.Shuffles,
+				ValidFraction: templateValidity(ctrl, dev.Bank(0), 0),
+			})
+			ci++
+			continue
+		}
+		// Hammer a random row of subarray 0.
+		pa := rng.Intn(src, cfg.RowsPerSubarray)
+		if err := dev.Activate(0, pa, now); err != nil {
+			return nil, err
+		}
+		now += params.RAS
+		if err := dev.Precharge(0, now); err != nil {
+			return nil, err
+		}
+		now += params.RP
+		if dev.Bank(0).RAA >= cfg.RAAIMT {
+			if err := dev.RFM(0, now); err != nil {
+				return nil, err
+			}
+			now += params.RFM
+		}
+	}
+	return out, nil
+}
+
+// templateValidity counts PA pairs (i, i+1) whose device rows remain
+// adjacent in DA space.
+func templateValidity(ctrl *shadow.Controller, b *dram.Bank, sub int) float64 {
+	m := ctrl.MappingOf(b, sub)
+	rows := b.Geometry().RowsPerSubarray
+	valid := 0
+	for i := 0; i+1 < rows; i++ {
+		d := m[i] - m[i+1]
+		if d == 1 || d == -1 {
+			valid++
+		}
+	}
+	return float64(valid) / float64(rows-1)
+}

@@ -1,0 +1,118 @@
+package sim_test
+
+import (
+	"testing"
+
+	"shadow/internal/dram"
+	"shadow/internal/hammer"
+	"shadow/internal/mitigate"
+	"shadow/internal/shadow"
+	"shadow/internal/sim"
+	"shadow/internal/timing"
+	"shadow/internal/trace"
+)
+
+// TestFourChannelsScaleBandwidth runs the same aggregate workload on 1 vs 4
+// channels through the full simulator: four channels must deliver clearly
+// more throughput for a memory-bound mix.
+func TestFourChannelsScaleBandwidth(t *testing.T) {
+	run := func(channels int) float64 {
+		geo := dram.TestGeometry()
+		wlGeo := geo
+		wlGeo.Banks = geo.Banks * channels // generators span the global bank space
+		profiles := []trace.Profile{
+			{Name: "stream", MPKI: 150, RowLocality: 0.2, WorkingSetRows: 512, WriteFrac: 0.2},
+			{Name: "stream2", MPKI: 150, RowLocality: 0.2, WorkingSetRows: 512, WriteFrac: 0.2},
+			{Name: "stream3", MPKI: 150, RowLocality: 0.2, WorkingSetRows: 512, WriteFrac: 0.2},
+			{Name: "stream4", MPKI: 150, RowLocality: 0.2, WorkingSetRows: 512, WriteFrac: 0.2},
+		}
+		res, err := sim.Run(sim.Config{
+			Params:   timing.NewParams(timing.DDR4_2666),
+			Geometry: geo,
+			Hammer:   hammer.Config{HCnt: 1 << 20, BlastRadius: 3},
+			Channels: channels,
+			Workload: trace.Generators(profiles, wlGeo, 5),
+			Duration: 50 * timing.Microsecond,
+			MSHR:     16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalIPC()
+	}
+	one := run(1)
+	four := run(4)
+	if four < one*1.5 {
+		t.Fatalf("4 channels (%.2f IPC) not clearly faster than 1 (%.2f IPC)", four, one)
+	}
+}
+
+// TestPerChannelMitigatorsIsolated: each channel gets its own SHADOW
+// controller and their states never mix.
+func TestPerChannelMitigatorsIsolated(t *testing.T) {
+	ctrls := map[int]*shadow.Controller{}
+	geo := dram.TestGeometry()
+	wlGeo := geo
+	wlGeo.Banks = geo.Banks * 2
+	p := timing.NewParams(timing.DDR4_2666)
+	params := p.WithShadow(timing.ShadowTimings{RDRM: timing.NS(4), RCDRM: timing.NS(2.3), WRRM: timing.NS(9), RowCopy: timing.NS(73.9), CopyRestoreFrac: 0.55}).WithRAAIMT(8)
+	res, err := sim.Run(sim.Config{
+		Params:   params,
+		Geometry: geo,
+		Hammer:   hammer.Config{HCnt: 1 << 20, BlastRadius: 3},
+		Channels: 2,
+		DeviceMitFor: func(ch int) dram.Mitigator {
+			c := shadow.New(shadow.Options{Seed: uint64(ch) + 1})
+			ctrls[ch] = c
+			return c
+		},
+		Workload: trace.Generators([]trace.Profile{
+			{Name: "a", MPKI: 100, RowLocality: 0.1, WorkingSetRows: 256},
+			{Name: "b", MPKI: 100, RowLocality: 0.1, WorkingSetRows: 256},
+		}, wlGeo, 7),
+		Duration: 100 * timing.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrls) != 2 {
+		t.Fatalf("%d controllers built, want 2", len(ctrls))
+	}
+	if ctrls[0].Stats.Shuffles == 0 || ctrls[1].Stats.Shuffles == 0 {
+		t.Fatalf("both channels should shuffle: %d / %d",
+			ctrls[0].Stats.Shuffles, ctrls[1].Stats.Shuffles)
+	}
+	for ch, dev := range res.Devices {
+		for bank := 0; bank < dev.Banks(); bank++ {
+			if err := ctrls[ch].CheckInvariants(dev.Bank(bank)); err != nil {
+				t.Fatalf("channel %d: %v", ch, err)
+			}
+		}
+	}
+}
+
+func TestSharedMitigatorRejectedWithChannels(t *testing.T) {
+	geo := dram.TestGeometry()
+	_, err := sim.Run(sim.Config{
+		Params:    timing.NewParams(timing.DDR4_2666),
+		Geometry:  geo,
+		Channels:  2,
+		DeviceMit: shadow.New(shadow.Options{}),
+		Workload:  trace.Generators(trace.MixHigh(1), geo, 1),
+		Duration:  timing.Microsecond,
+	})
+	if err == nil {
+		t.Fatal("shared device mitigator across channels accepted")
+	}
+	_, err = sim.Run(sim.Config{
+		Params:   timing.NewParams(timing.DDR4_2666),
+		Geometry: geo,
+		Channels: 2,
+		MCSide:   mitigate.NopMCSide{},
+		Workload: trace.Generators(trace.MixHigh(1), geo, 1),
+		Duration: timing.Microsecond,
+	})
+	if err == nil {
+		t.Fatal("shared MC-side policy across channels accepted")
+	}
+}

@@ -1,0 +1,364 @@
+// Package sim is the system-level simulator behind the paper's performance
+// experiments (Figures 8-12): N cores replaying workload traces against the
+// memory controller and DRAM device, with any combination of DRAM-side
+// (SHADOW, PARFM, Mithril) and MC-side (BlockHammer, RRS) mitigations.
+//
+// The core model is the standard trace-driven abstraction used to study
+// memory-system changes: each core retires the trace's non-memory
+// instructions at a fixed rate and issues its memory accesses with bounded
+// memory-level parallelism (MSHRs); a core stalls when its MSHRs are full,
+// so added DRAM latency (tRCD', RFM busy time, throttling delays, channel
+// blocking) flows directly into lost instruction throughput. Relative
+// performance between schemes — all the paper reports — is governed by the
+// same mechanisms as on real hardware.
+package sim
+
+import (
+	"fmt"
+
+	"shadow/internal/dram"
+	"shadow/internal/hammer"
+	"shadow/internal/memctrl"
+	"shadow/internal/memsys"
+	"shadow/internal/mitigate"
+	"shadow/internal/timing"
+	"shadow/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Params must be fully configured (speed grade, RAAIMT, SHADOW timings,
+	// refresh scaling).
+	Params *timing.Params
+	// Geometry defaults to dram.DefaultGeometry for the params' grade.
+	Geometry dram.Geometry
+	// Hammer defaults to hammer.DefaultConfig.
+	Hammer hammer.Config
+	// DeviceMit is the in-DRAM mitigation (nil = unprotected).
+	DeviceMit dram.Mitigator
+	// MCSide is the controller-side mitigation (nil = none).
+	MCSide mitigate.MCSide
+	// RFMFilter optionally gates RFMs (Section VIII).
+	RFMFilter *mitigate.RFMFilter
+	// Workload supplies one generator per core.
+	Workload []trace.Generator
+	// Duration is the simulated time horizon.
+	Duration timing.Tick
+	// Warmup excludes the first Warmup ticks from the reported statistics
+	// (instructions and controller counters), so threshold-based schemes
+	// (tracker tables, Bloom filters) are measured in steady state rather
+	// than while still filling. Must be below Duration.
+	Warmup timing.Tick
+	// Channels builds a multi-channel system (default 1). Workload
+	// generators must then emit global bank indices in
+	// [0, Channels*Geometry.Banks) — build them over a geometry whose Banks
+	// field is the total. With Channels > 1, per-channel mitigators come
+	// from DeviceMitFor/MCSideFor (mitigation state must not be shared
+	// across channels, since bank indices repeat).
+	Channels     int
+	DeviceMitFor func(ch int) dram.Mitigator
+	MCSideFor    func(ch int) mitigate.MCSide
+	// InstPerNS is each core's peak retirement rate (instructions per
+	// nanosecond); 4.0 models a ~3 GHz out-of-order core.
+	InstPerNS float64
+	// MSHR bounds each core's outstanding misses (default 8, approximating
+	// an out-of-order core with prefetching).
+	MSHR int
+	// OnCommand, when set, observes every DRAM command each channel's
+	// controller issues (protocol validation; see package cmdtrace). The
+	// channel index is passed alongside the command.
+	OnCommand func(ch int, cmd memctrl.Cmd)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Duration timing.Tick
+	// Insts and IPC are per core; IPC is in instructions per nanosecond.
+	Insts []int64
+	IPC   []float64
+	MC    memctrl.Stats
+	Dev   dram.BankStats
+	Flips int
+	// Device is channel 0's rank, available for post-run inspection
+	// (mapping state, row contents, flip records); Devices lists every
+	// channel's rank.
+	Device  *dram.Device
+	Devices []*dram.Device
+}
+
+// core is the per-core replay state.
+type core struct {
+	gen         trace.Generator
+	nextIssueAt timing.Tick
+	pending     trace.Event
+	outstanding int
+	insts       int64
+	stalled     bool
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Params == nil {
+		return nil, fmt.Errorf("sim: Params required")
+	}
+	if len(cfg.Workload) == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("sim: non-positive duration")
+	}
+	if cfg.Geometry.Banks == 0 {
+		cfg.Geometry = dram.DefaultGeometry(cfg.Params.Grade == timing.DDR5_4800)
+	}
+	if cfg.Hammer.HCnt == 0 {
+		cfg.Hammer = hammer.DefaultConfig()
+	}
+	if cfg.InstPerNS <= 0 {
+		cfg.InstPerNS = 4.0
+	}
+	if cfg.MSHR <= 0 {
+		cfg.MSHR = 8
+	}
+	if cfg.Warmup >= cfg.Duration {
+		return nil, fmt.Errorf("sim: warmup %v must be below duration %v", cfg.Warmup, cfg.Duration)
+	}
+
+	channels := cfg.Channels
+	if channels <= 0 {
+		channels = 1
+	}
+	if channels > 1 && cfg.DeviceMit != nil {
+		return nil, fmt.Errorf("sim: with Channels > 1 use DeviceMitFor, not DeviceMit")
+	}
+	if channels > 1 && cfg.MCSide != nil {
+		return nil, fmt.Errorf("sim: with Channels > 1 use MCSideFor, not MCSide")
+	}
+
+	cores := make([]*core, len(cfg.Workload))
+	for i, g := range cfg.Workload {
+		cores[i] = &core{gen: g}
+		cores[i].fetch(cfg.InstPerNS, 0)
+	}
+
+	// Completion queue: (coreID, doneAt) pairs, unsorted (small).
+	type completion struct {
+		core int
+		at   timing.Tick
+	}
+	var inflight []completion
+	onComplete := func(r *memctrl.Request) {
+		inflight = append(inflight, completion{core: r.Core, at: r.Done})
+	}
+
+	ctls := make([]*memctrl.Controller, channels)
+	devices := make([]*dram.Device, channels)
+	for ch := 0; ch < channels; ch++ {
+		mit := cfg.DeviceMit
+		if cfg.DeviceMitFor != nil {
+			mit = cfg.DeviceMitFor(ch)
+		}
+		mcside := cfg.MCSide
+		if cfg.MCSideFor != nil {
+			mcside = cfg.MCSideFor(ch)
+		}
+		dev, err := dram.NewDevice(dram.Config{
+			Geometry:  cfg.Geometry,
+			Params:    cfg.Params,
+			Hammer:    cfg.Hammer,
+			Mitigator: mit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		devices[ch] = dev
+		var onCmd func(memctrl.Cmd)
+		if cfg.OnCommand != nil {
+			chID := ch
+			onCmd = func(c memctrl.Cmd) { cfg.OnCommand(chID, c) }
+		}
+		ctls[ch] = memctrl.New(dev, memctrl.Options{
+			MCSide:     mcside,
+			RFMFilter:  cfg.RFMFilter,
+			OnComplete: onComplete,
+			OnCommand:  onCmd,
+		})
+	}
+	mc, err := memsys.New(ctls)
+	if err != nil {
+		return nil, err
+	}
+
+	now := timing.Tick(0)
+	var warmInsts []int64
+	var warmMC memctrl.Stats
+	warmTaken := false
+	for now < cfg.Duration {
+		if !warmTaken && now >= cfg.Warmup && cfg.Warmup > 0 {
+			warmTaken = true
+			warmInsts = make([]int64, len(cores))
+			for i, c := range cores {
+				warmInsts[i] = c.insts
+			}
+			warmMC = mc.Stats()
+		}
+		// 1. Retire completions due by now.
+		for i := 0; i < len(inflight); {
+			if inflight[i].at <= now {
+				c := cores[inflight[i].core]
+				c.outstanding--
+				if c.stalled {
+					c.stalled = false
+					if c.nextIssueAt < inflight[i].at {
+						c.nextIssueAt = inflight[i].at
+					}
+				}
+				inflight[i] = inflight[len(inflight)-1]
+				inflight = inflight[:len(inflight)-1]
+			} else {
+				i++
+			}
+		}
+
+		// 2. Cores issue due requests.
+		for id, c := range cores {
+			for !c.stalled && c.nextIssueAt <= now {
+				if c.outstanding >= cfg.MSHR {
+					c.stalled = true
+					break
+				}
+				req := &memctrl.Request{
+					Core:   id,
+					Bank:   c.pending.Bank,
+					Row:    c.pending.Row,
+					Col:    c.pending.Col,
+					Write:  c.pending.Write,
+					Arrive: now,
+				}
+				if !mc.Enqueue(req) {
+					// Bank queue full: retry after a short backoff.
+					c.nextIssueAt = now + cfg.Params.TCK*4
+					break
+				}
+				c.outstanding++
+				c.fetch(cfg.InstPerNS, now)
+			}
+		}
+
+		// 3. Controllers issue commands available at now.
+		next := timing.Forever
+		for {
+			t := mc.Step(now)
+			if t > now {
+				next = t
+				break
+			}
+		}
+
+		// 4. Advance to the earliest future event.
+		for _, c := range cores {
+			if !c.stalled && c.nextIssueAt > now && c.nextIssueAt < next {
+				next = c.nextIssueAt
+			}
+		}
+		for _, f := range inflight {
+			if f.at > now && f.at < next {
+				next = f.at
+			}
+		}
+		if next <= now {
+			next = now + cfg.Params.TCK
+		}
+		now = next
+	}
+
+	measured := cfg.Duration - cfg.Warmup
+	res := &Result{
+		Duration: measured,
+		Insts:    make([]int64, len(cores)),
+		IPC:      make([]float64, len(cores)),
+		MC:       mc.Stats(),
+		Dev:      mc.DeviceStats(),
+		Flips:    mc.FlipCount(),
+		Device:   devices[0],
+		Devices:  devices,
+	}
+	if warmTaken {
+		res.MC = subStats(mc.Stats(), warmMC)
+	}
+	for i, c := range cores {
+		res.Insts[i] = c.insts
+		if warmTaken {
+			res.Insts[i] -= warmInsts[i]
+		}
+		res.IPC[i] = float64(res.Insts[i]) / measured.Nanoseconds()
+	}
+	return res, nil
+}
+
+// subStats subtracts warmup-phase counters from the final totals.
+func subStats(a, w memctrl.Stats) memctrl.Stats {
+	a.Acts -= w.Acts
+	a.Reads -= w.Reads
+	a.Writes -= w.Writes
+	a.Pres -= w.Pres
+	a.Refs -= w.Refs
+	a.RFMs -= w.RFMs
+	a.SkippedRFMs -= w.SkippedRFMs
+	a.Swaps -= w.Swaps
+	a.TRRs -= w.TRRs
+	a.RowHits -= w.RowHits
+	a.RowMisses -= w.RowMisses
+	a.ReadLatency -= w.ReadLatency
+	a.CompletedReads -= w.CompletedReads
+	a.CompletedWrites -= w.CompletedWrites
+	a.BlockedTime -= w.BlockedTime
+	return a
+}
+
+// fetch loads the core's next trace event and schedules its issue time after
+// the event's instruction gap.
+func (c *core) fetch(instPerNS float64, now timing.Tick) {
+	c.pending = c.gen.Next()
+	c.insts += int64(c.pending.Gap)
+	gapTime := timing.Tick(float64(c.pending.Gap) / instPerNS * float64(timing.Nanosecond))
+	if gapTime < 1 {
+		gapTime = 1
+	}
+	base := c.nextIssueAt
+	if now > base {
+		base = now
+	}
+	c.nextIssueAt = base + gapTime
+}
+
+// TotalIPC sums per-core IPC.
+func (r *Result) TotalIPC() float64 {
+	s := 0.0
+	for _, v := range r.IPC {
+		s += v
+	}
+	return s
+}
+
+// WeightedSpeedup computes the paper's multiprogram metric: the mean of
+// per-core IPC ratios between a scheme run and its baseline run (normalized
+// weighted speedup; 1.0 = no slowdown).
+func WeightedSpeedup(scheme, baseline *Result) float64 {
+	if len(scheme.IPC) != len(baseline.IPC) {
+		panic("sim: mismatched core counts")
+	}
+	s := 0.0
+	for i := range scheme.IPC {
+		if baseline.IPC[i] == 0 {
+			continue
+		}
+		s += scheme.IPC[i] / baseline.IPC[i]
+	}
+	return s / float64(len(scheme.IPC))
+}
+
+// RelativePerformance for single-threaded runs: inverse-execution-time ratio
+// equals the IPC ratio over a fixed horizon.
+func RelativePerformance(scheme, baseline *Result) float64 {
+	return scheme.TotalIPC() / baseline.TotalIPC()
+}

@@ -1,0 +1,242 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickString(t *testing.T) {
+	cases := []struct {
+		t    Tick
+		want string
+	}{
+		{500, "500ps"},
+		{NS(0.75), "750ps"},
+		{NS(13.7), "13.700ns"},
+		{7800 * Nanosecond, "7.800us"},
+		{32 * Millisecond, "32.000ms"},
+		{2 * Second, "2.000s"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Tick(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestNSRoundTrip(t *testing.T) {
+	if NS(1) != Nanosecond {
+		t.Fatalf("NS(1) = %d, want %d", NS(1), Nanosecond)
+	}
+	if got := NS(0.5); got != 500 {
+		t.Fatalf("NS(0.5) = %d, want 500", got)
+	}
+	if got := NS(13.7).Nanoseconds(); math.Abs(got-13.7) > 1e-9 {
+		t.Fatalf("Nanoseconds() = %g, want 13.7", got)
+	}
+}
+
+func TestNewParamsValidates(t *testing.T) {
+	for _, g := range []Grade{DDR4_2666, DDR5_4800} {
+		p := NewParams(g)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: Validate() = %v", g, err)
+		}
+		if p.Grade != g {
+			t.Errorf("%v: Grade = %v", g, p.Grade)
+		}
+	}
+}
+
+func TestDDR4TableIVValues(t *testing.T) {
+	p := NewParams(DDR4_2666)
+	// Table IV: 19-19-19 (tCL-tRCD-tRP), 467 tRFC, 10400 tREFI, all in tCK.
+	if got := p.ToCycles(p.AA); got != 19 {
+		t.Errorf("tCL = %d tCK, want 19", got)
+	}
+	if got := p.ToCycles(p.RCD); got != 19 {
+		t.Errorf("tRCD = %d tCK, want 19", got)
+	}
+	if got := p.ToCycles(p.RP); got != 19 {
+		t.Errorf("tRP = %d tCK, want 19", got)
+	}
+	if got := p.ToCycles(p.RFC); got != 467 {
+		t.Errorf("tRFC = %d tCK, want 467", got)
+	}
+	if got := p.ToCycles(p.REFI); got != 10400 {
+		t.Errorf("tREFI = %d tCK, want 10400", got)
+	}
+	if p.TCK != NS(0.75) {
+		t.Errorf("tCK = %v, want 0.75ns", p.TCK)
+	}
+}
+
+func TestCyclesRoundTrip(t *testing.T) {
+	p := NewParams(DDR4_2666)
+	f := func(n uint8) bool {
+		return p.ToCycles(p.Cycles(int(n))) == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToCyclesRoundsUp(t *testing.T) {
+	p := NewParams(DDR4_2666)
+	if got := p.ToCycles(p.TCK + 1); got != 2 {
+		t.Errorf("ToCycles(TCK+1) = %d, want 2", got)
+	}
+	if got := p.ToCycles(0); got != 0 {
+		t.Errorf("ToCycles(0) = %d, want 0", got)
+	}
+	if got := p.ToCycles(-5); got != 0 {
+		t.Errorf("ToCycles(-5) = %d, want 0", got)
+	}
+}
+
+func TestEffectiveRCD(t *testing.T) {
+	p := NewParams(DDR4_2666)
+	if p.EffectiveRCD() != p.RCD {
+		t.Fatalf("baseline EffectiveRCD = %v, want tRCD %v", p.EffectiveRCD(), p.RCD)
+	}
+	sp := p.WithShadow(ShadowTimings{
+		RDRM: NS(4.0), RCDRM: NS(2.3), WRRM: NS(9.0),
+		RowCopy: NS(73.9), CopyRestoreFrac: 0.55,
+	})
+	want := p.RCD + NS(4.0)
+	if sp.EffectiveRCD() != want {
+		t.Fatalf("shadow EffectiveRCD = %v, want %v", sp.EffectiveRCD(), want)
+	}
+	// The original must be untouched.
+	if p.Shadow != nil {
+		t.Fatal("WithShadow mutated the receiver")
+	}
+}
+
+// TestShuffleTimePaperValues checks the revised Section VII-B formula:
+// tRD_RM + tRAS + tRP + 3.1*tRAS + 2*tRP = 178 ns (DDR4-2666) and
+// 186 ns (DDR5-4800), within rounding of the paper's reported values.
+func TestShuffleTimePaperValues(t *testing.T) {
+	st := ShadowTimings{RDRM: NS(4.0), RCDRM: NS(2.3), WRRM: NS(9.0), RowCopy: NS(73.9), CopyRestoreFrac: 0.55}
+	cases := []struct {
+		grade  Grade
+		wantNS float64
+		tolNS  float64
+	}{
+		{DDR4_2666, 178, 6},
+		{DDR5_4800, 186, 6},
+	}
+	for _, c := range cases {
+		p := NewParams(c.grade).WithShadow(st)
+		got := p.ShuffleTime().Nanoseconds()
+		if math.Abs(got-c.wantNS) > c.tolNS {
+			t.Errorf("%v: ShuffleTime = %.1fns, want %.0f±%.0fns", c.grade, got, c.wantNS, c.tolNS)
+		}
+		if p.ShuffleTime() > p.RFM {
+			t.Errorf("%v: shuffle %v does not fit in tRFM %v", c.grade, p.ShuffleTime(), p.RFM)
+		}
+	}
+}
+
+func TestWithRAAIMT(t *testing.T) {
+	p := NewParams(DDR5_4800).WithRAAIMT(64)
+	if p.RAAIMT != 64 || p.RAAMMT != 192 {
+		t.Fatalf("RAAIMT/RAAMMT = %d/%d, want 64/192", p.RAAIMT, p.RAAMMT)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithRefreshScale(t *testing.T) {
+	p := NewParams(DDR4_2666)
+	q := p.WithRefreshScale(2)
+	if q.REFI != p.REFI/2 {
+		t.Fatalf("REFI = %v, want %v", q.REFI, p.REFI/2)
+	}
+	if p.REFI == q.REFI {
+		t.Fatal("WithRefreshScale mutated the receiver")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		frag   string
+	}{
+		{"zero TCK", func(p *Params) { p.TCK = 0 }, "TCK"},
+		{"RC mismatch", func(p *Params) { p.RC++ }, "RC"},
+		{"RFC over REFI", func(p *Params) { p.RFC = p.REFI + 1 }, "RFC"},
+		{"negative RAAIMT", func(p *Params) { p.RAAIMT = -1 }, "RAAIMT"},
+		{"RAAMMT below RAAIMT", func(p *Params) { p.RAAIMT = 64; p.RAAMMT = 32 }, "RAAMMT"},
+		{"bad restore frac", func(p *Params) {
+			p.Shadow = &ShadowTimings{RDRM: 1, RowCopy: 1, CopyRestoreFrac: 1.5}
+		}, "CopyRestoreFrac"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := NewParams(DDR4_2666)
+			c.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q does not mention %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	st := ShadowTimings{RDRM: NS(4), RCDRM: NS(2.3), WRRM: NS(9), RowCopy: NS(73.9), CopyRestoreFrac: 0.55}
+	p := NewParams(DDR5_4800).WithShadow(st)
+	q := p.Clone()
+	q.Shadow.RDRM = NS(99)
+	if p.Shadow.RDRM != NS(4) {
+		t.Fatal("Clone shares ShadowTimings")
+	}
+}
+
+func TestGradeString(t *testing.T) {
+	if DDR4_2666.String() != "DDR4-2666" || DDR5_4800.String() != "DDR5-4800" {
+		t.Fatalf("unexpected grade strings %q %q", DDR4_2666, DDR5_4800)
+	}
+	if !strings.Contains(Grade(42).String(), "42") {
+		t.Fatal("unknown grade should include numeric value")
+	}
+}
+
+func TestValidateMoreErrorPaths(t *testing.T) {
+	p := NewParams(DDR5_4800)
+	p.RCD = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero RCD accepted")
+	}
+	p = NewParams(DDR5_4800)
+	p.REFI = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero REFI accepted")
+	}
+	p = NewParams(DDR5_4800)
+	p.Shadow = &ShadowTimings{RDRM: 0, RowCopy: 1, CopyRestoreFrac: 0.5}
+	if err := p.Validate(); err == nil {
+		t.Error("zero RDRM accepted")
+	}
+	p = NewParams(DDR5_4800)
+	p.Shadow = &ShadowTimings{RDRM: NS(4), RowCopy: NS(70), CopyRestoreFrac: 1.0}
+	p.RFM = NS(100) // shuffle cannot fit
+	if err := p.Validate(); err == nil {
+		t.Error("shuffle overflow of tRFM accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown grade did not panic")
+		}
+	}()
+	NewParams(Grade(99))
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"fmt"
+
+	"shadow/internal/dram"
+	"shadow/internal/rng"
+)
+
+// Pattern is a Row Hammer attack: an infinite sequence of row activations
+// against one rank. Patterns drive the device directly (attackers bypass
+// caching with clflush-style streams), so they emit (bank, row) pairs rather
+// than Events.
+type Pattern interface {
+	Name() string
+	// NextRow returns the next (bank, PA row) to activate.
+	NextRow() (bank, row int)
+}
+
+// SingleSided hammers one aggressor row forever — the classic attack.
+type SingleSided struct {
+	Bank, Row int
+}
+
+// Name implements Pattern.
+func (s *SingleSided) Name() string { return "single-sided" }
+
+// NextRow implements Pattern.
+func (s *SingleSided) NextRow() (int, int) { return s.Bank, s.Row }
+
+// DoubleSided alternates the two rows sandwiching a victim, the strongest
+// classic pattern (victim pressure grows 1 per activation).
+type DoubleSided struct {
+	Bank, Victim int
+	flip         bool
+}
+
+// Name implements Pattern.
+func (d *DoubleSided) Name() string { return "double-sided" }
+
+// NextRow implements Pattern.
+func (d *DoubleSided) NextRow() (int, int) {
+	d.flip = !d.flip
+	if d.flip {
+		return d.Bank, d.Victim - 1
+	}
+	return d.Bank, d.Victim + 1
+}
+
+// ManySided cycles through an arbitrary aggressor set (TRRespass-style
+// n-sided patterns).
+type ManySided struct {
+	Bank int
+	Rows []int
+	i    int
+}
+
+// Name implements Pattern.
+func (m *ManySided) Name() string { return fmt.Sprintf("%d-sided", len(m.Rows)) }
+
+// NextRow implements Pattern.
+func (m *ManySided) NextRow() (int, int) {
+	r := m.Rows[m.i%len(m.Rows)]
+	m.i++
+	return m.Bank, r
+}
+
+// Blast hammers the rows at the given distance on both sides of a victim —
+// the non-adjacent blast-attack (Half-Double style) that evades
+// adjacent-only TRR while still disturbing the victim through the blast
+// radius.
+func Blast(bank, victim, distance int) *ManySided {
+	return &ManySided{Bank: bank, Rows: []int{victim - distance, victim + distance}}
+}
+
+// HalfDouble builds the Google Half-Double pattern (Kogler et al., USENIX
+// Security 2022): heavy hammering at distance 2 from the victim, assisted by
+// occasional distance-1 accesses. On devices with TRR sampling, the
+// distance-1 "decoy" rows absorb the mitigations while the distance-2
+// aggressors accumulate disturbance through the blast radius.
+type HalfDouble struct {
+	Bank, Victim int
+	// AssistEvery inserts one distance-1 access per this many distance-2
+	// accesses (default 8).
+	AssistEvery int
+	i           int
+}
+
+// Name implements Pattern.
+func (h *HalfDouble) Name() string { return "half-double" }
+
+// NextRow implements Pattern.
+func (h *HalfDouble) NextRow() (int, int) {
+	every := h.AssistEvery
+	if every <= 0 {
+		every = 8
+	}
+	h.i++
+	switch {
+	case h.i%(2*every) == 0:
+		return h.Bank, h.Victim - 1
+	case h.i%every == 0:
+		return h.Bank, h.Victim + 1
+	case h.i%2 == 0:
+		return h.Bank, h.Victim - 2
+	default:
+		return h.Bank, h.Victim + 2
+	}
+}
+
+// ScenarioI is Appendix XI attack scenario I against SHADOW: hammer a single
+// PA row for one full RFM interval (RAAIMT activations), then move to a new
+// random PA row of the same subarray, relying on the chance that shuffled
+// locations collide near a common victim (the birthday-paradox pattern).
+type ScenarioI struct {
+	Bank, Subarray int
+	RAAIMT         int
+	geo            dram.Geometry
+	src            rng.Source
+	cur            int
+	n              int
+}
+
+// NewScenarioI builds the pattern.
+func NewScenarioI(bank, subarray, raaimt int, g dram.Geometry, seed uint64) *ScenarioI {
+	s := &ScenarioI{Bank: bank, Subarray: subarray, RAAIMT: raaimt, geo: g, src: rng.NewCSPRNG(seed)}
+	s.pick()
+	return s
+}
+
+// Name implements Pattern.
+func (s *ScenarioI) Name() string { return "scenario-I" }
+
+func (s *ScenarioI) pick() {
+	s.cur = s.geo.PARow(s.Subarray, rng.Intn(s.src, s.geo.RowsPerSubarray))
+}
+
+// NextRow implements Pattern.
+func (s *ScenarioI) NextRow() (int, int) {
+	if s.n >= s.RAAIMT {
+		s.n = 0
+		s.pick()
+	}
+	s.n++
+	return s.Bank, s.cur
+}
+
+// NewScenarioII builds Appendix XI scenario II: nAggr fixed aggressor rows
+// inside one subarray, activated round-robin (each receives m =
+// RAAIMT/nAggr activations per RFM interval), betting that some aggressor
+// escapes the per-RFM shuffle long enough to reach H_cnt.
+func NewScenarioII(bank, subarray, nAggr int, g dram.Geometry, seed uint64) *ManySided {
+	src := rng.NewCSPRNG(seed)
+	perm := rng.Perm(src, g.RowsPerSubarray)
+	rows := make([]int, nAggr)
+	for i := range rows {
+		rows[i] = g.PARow(subarray, perm[i])
+	}
+	return &ManySided{Bank: bank, Rows: rows}
+}
+
+// NewScenarioIII builds Appendix XI scenario III: nAggr aggressor rows
+// spread across distinct subarrays of one bank, so SHADOW's per-RFM shuffle
+// (which targets one subarray) can thin them only one at a time.
+func NewScenarioIII(bank, nAggr int, g dram.Geometry, seed uint64) *ManySided {
+	src := rng.NewCSPRNG(seed)
+	rows := make([]int, nAggr)
+	for i := range rows {
+		sub := i % g.SubarraysPerBank
+		rows[i] = g.PARow(sub, rng.Intn(src, g.RowsPerSubarray))
+	}
+	return &ManySided{Bank: bank, Rows: rows}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"shadow/internal/dram"
+	"shadow/internal/rng"
+)
+
+// The workload suites of Section VII-C. Profile constants encode each
+// application's published memory character: SPEC CPU2017 LLC MPKI classes
+// (the paper's spec-high/med/low grouping is reproduced exactly), GAPBS's
+// irregular low-locality graph traversals over a 2^26-vertex Kronecker
+// graph, and NPB class C's regular streaming kernels.
+
+// SpecHigh is the paper's memory-intensive SPEC CPU2017 group.
+var SpecHigh = []Profile{
+	{Name: "bwaves", MPKI: 25, RowLocality: 0.80, WorkingSetRows: 1 << 14, WriteFrac: 0.25, HotFrac: 0.10, HotRows: 64},
+	{Name: "fotonik3d", MPKI: 30, RowLocality: 0.75, WorkingSetRows: 1 << 14, WriteFrac: 0.30, HotFrac: 0.10, HotRows: 64},
+	{Name: "lbm", MPKI: 40, RowLocality: 0.70, WorkingSetRows: 1 << 14, WriteFrac: 0.45, HotFrac: 0.10, HotRows: 32},
+	{Name: "mcf", MPKI: 70, RowLocality: 0.30, WorkingSetRows: 1 << 15, WriteFrac: 0.20, HotFrac: 0.25, HotRows: 16},
+	{Name: "wrf", MPKI: 20, RowLocality: 0.75, WorkingSetRows: 1 << 13, WriteFrac: 0.30, HotFrac: 0.10, HotRows: 32},
+}
+
+// SpecMed is the paper's medium-intensity group.
+var SpecMed = []Profile{
+	{Name: "deepsjeng", MPKI: 5, RowLocality: 0.50, WorkingSetRows: 1 << 12, WriteFrac: 0.25, HotFrac: 0.20, HotRows: 8},
+	{Name: "gcc", MPKI: 6, RowLocality: 0.60, WorkingSetRows: 1 << 13, WriteFrac: 0.30, HotFrac: 0.20, HotRows: 16},
+	{Name: "xz", MPKI: 8, RowLocality: 0.40, WorkingSetRows: 1 << 14, WriteFrac: 0.35, HotFrac: 0.15, HotRows: 16},
+}
+
+// SpecLow is the paper's low-intensity group.
+var SpecLow = []Profile{
+	{Name: "exchange2", MPKI: 0.2, RowLocality: 0.70, WorkingSetRows: 1 << 10, WriteFrac: 0.20, HotFrac: 0.30, HotRows: 4},
+	{Name: "imagick", MPKI: 0.5, RowLocality: 0.80, WorkingSetRows: 1 << 11, WriteFrac: 0.30, HotFrac: 0.20, HotRows: 8},
+	{Name: "leela", MPKI: 1.0, RowLocality: 0.55, WorkingSetRows: 1 << 11, WriteFrac: 0.25, HotFrac: 0.20, HotRows: 8},
+}
+
+// GAPBS models the GAP benchmark kernels on a Kronecker graph (2^26
+// vertices): intense, irregular, low row locality.
+var GAPBS = []Profile{
+	{Name: "gapbs-bc", MPKI: 35, RowLocality: 0.25, WorkingSetRows: 1 << 15, WriteFrac: 0.15, HotFrac: 0.30, HotRows: 32},
+	{Name: "gapbs-bfs", MPKI: 45, RowLocality: 0.20, WorkingSetRows: 1 << 15, WriteFrac: 0.15, HotFrac: 0.30, HotRows: 32},
+	{Name: "gapbs-cc", MPKI: 40, RowLocality: 0.22, WorkingSetRows: 1 << 15, WriteFrac: 0.20, HotFrac: 0.30, HotRows: 32},
+	{Name: "gapbs-pr", MPKI: 50, RowLocality: 0.30, WorkingSetRows: 1 << 15, WriteFrac: 0.25, HotFrac: 0.30, HotRows: 32},
+	{Name: "gapbs-sssp", MPKI: 42, RowLocality: 0.22, WorkingSetRows: 1 << 15, WriteFrac: 0.18, HotFrac: 0.30, HotRows: 32},
+	{Name: "gapbs-tc", MPKI: 25, RowLocality: 0.35, WorkingSetRows: 1 << 15, WriteFrac: 0.10, HotFrac: 0.25, HotRows: 32},
+}
+
+// NPB models the NAS Parallel Benchmarks, class C: regular streaming.
+var NPB = []Profile{
+	{Name: "npb-bt", MPKI: 12, RowLocality: 0.80, WorkingSetRows: 1 << 14, WriteFrac: 0.40, HotFrac: 0.05, HotRows: 64},
+	{Name: "npb-cg", MPKI: 30, RowLocality: 0.45, WorkingSetRows: 1 << 14, WriteFrac: 0.20, HotFrac: 0.10, HotRows: 64},
+	{Name: "npb-ft", MPKI: 20, RowLocality: 0.75, WorkingSetRows: 1 << 14, WriteFrac: 0.45, HotFrac: 0.05, HotRows: 64},
+	{Name: "npb-is", MPKI: 25, RowLocality: 0.40, WorkingSetRows: 1 << 13, WriteFrac: 0.35, HotFrac: 0.10, HotRows: 64},
+	{Name: "npb-lu", MPKI: 15, RowLocality: 0.78, WorkingSetRows: 1 << 14, WriteFrac: 0.40, HotFrac: 0.05, HotRows: 64},
+	{Name: "npb-mg", MPKI: 22, RowLocality: 0.70, WorkingSetRows: 1 << 15, WriteFrac: 0.35, HotFrac: 0.05, HotRows: 64},
+	{Name: "npb-sp", MPKI: 18, RowLocality: 0.76, WorkingSetRows: 1 << 14, WriteFrac: 0.40, HotFrac: 0.05, HotRows: 64},
+	{Name: "npb-ua", MPKI: 14, RowLocality: 0.60, WorkingSetRows: 1 << 14, WriteFrac: 0.30, HotFrac: 0.05, HotRows: 64},
+}
+
+// AllSpec returns the full categorized SPEC CPU2017 set.
+func AllSpec() []Profile {
+	out := append([]Profile(nil), SpecHigh...)
+	out = append(out, SpecMed...)
+	return append(out, SpecLow...)
+}
+
+// ProfileByName looks up any known profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, set := range [][]Profile{SpecHigh, SpecMed, SpecLow, GAPBS, NPB} {
+		for _, p := range set {
+			if p.Name == name {
+				return p, nil
+			}
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown profile %q", name)
+}
+
+// Names returns the sorted names of all known profiles.
+func Names() []string {
+	var out []string
+	for _, set := range [][]Profile{SpecHigh, SpecMed, SpecLow, GAPBS, NPB} {
+		for _, p := range set {
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MixHigh returns the paper's mix-high workload: n copies drawn cyclically
+// from the spec-high applications (14 on the actual system, 16/32 in the
+// architectural simulation).
+func MixHigh(n int) []Profile {
+	out := make([]Profile, n)
+	for i := range out {
+		out[i] = SpecHigh[i%len(SpecHigh)]
+	}
+	return out
+}
+
+// MixBlend returns mix-blend: n applications drawn round-robin across the
+// spec-high, spec-med, and spec-low groups so every blend size mixes all
+// three intensity classes uniformly.
+func MixBlend(n int) []Profile {
+	groups := [][]Profile{SpecHigh, SpecMed, SpecLow}
+	out := make([]Profile, n)
+	for i := range out {
+		g := groups[i%len(groups)]
+		out[i] = g[(i/len(groups))%len(g)]
+	}
+	return out
+}
+
+// MixRandom returns one of the paper's mix-random workloads: n applications
+// chosen uniformly at random from SPEC CPU2017 under the given seed.
+func MixRandom(n int, seed uint64) []Profile {
+	all := AllSpec()
+	src := rng.NewCSPRNG(seed)
+	out := make([]Profile, n)
+	for i := range out {
+		out[i] = all[rng.Intn(src, len(all))]
+	}
+	return out
+}
+
+// Generators instantiates one generator per profile with per-core seeds.
+func Generators(profiles []Profile, g dram.Geometry, seed uint64) []Generator {
+	out := make([]Generator, len(profiles))
+	for i, p := range profiles {
+		out[i] = NewSynth(p, g, seed+uint64(i)*0x9E3779B9)
+	}
+	return out
+}
