@@ -1,0 +1,22 @@
+# Developer entry points. `make verify` is the full gate every PR must pass.
+
+.PHONY: build test race vet fmt verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+	go run ./cmd/shadowvet ./...
+
+fmt:
+	gofmt -w cmd internal examples bench_test.go
+
+verify:
+	./scripts/check.sh

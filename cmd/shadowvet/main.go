@@ -1,0 +1,81 @@
+// Command shadowvet runs the repository's custom static-analysis suite
+// (internal/analysis) over package patterns and reports diagnostics with
+// file:line positions, exiting non-zero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/shadowvet ./...
+//	go run ./cmd/shadowvet ./internal/... ./cmd/...
+//	go run ./cmd/shadowvet -list
+//
+// The suite enforces simulator determinism (no wall-clock reads, no global
+// math/rand, no order-sensitive map iteration in the simulation packages),
+// the "<pkg>: ..." panic-message convention, checked errors on DRAM
+// command-issuing methods, and sane sync.Mutex/WaitGroup usage. A finding
+// can be waived with a "//shadowvet:ignore <analyzer> -- reason" comment on
+// or above the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shadow/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shadowvet [-list] [packages]\n\npackages are go-style patterns (default ./...)\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := analysis.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shadowvet: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shadowvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		loaded, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shadowvet: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, pkg := range loaded {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "shadowvet: warning: %s: %v\n", pkg.Path, terr)
+			}
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "shadowvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,175 @@
+// Package analysis is shadowvet's analyzer framework: a dependency-free
+// (standard library only) reimplementation of the go/analysis idea, sized
+// for this repository. Analyzers inspect one type-checked package at a time
+// and report diagnostics; cmd/shadowvet drives them over the tree.
+//
+// The suite exists because every figure of the paper is regenerated from a
+// deterministic cycle-level simulation: a single hidden source of
+// nondeterminism (a wall-clock read, global math/rand, an order-dependent
+// map iteration) silently corrupts every table. The analyzers turn the
+// repository's determinism and DRAM-protocol conventions into machine
+// checks that run in CI (scripts/check.sh).
+//
+// A finding can be waived where a human can prove what the analyzer cannot
+// (for example an order-independent min/max reduction over a map) by
+// annotating the line — or the line directly above it — with
+//
+//	//shadowvet:ignore <analyzer>[,<analyzer>...] [-- reason]
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description for -list output.
+	Doc string
+	// Run inspects the pass's package and reports findings via Pass.Reportf.
+	Run func(*Pass)
+}
+
+// All returns the full shadowvet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, PanicMsg, CmdErr, Locks}
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// PkgPath is the package's import path (e.g. shadow/internal/dram).
+	// External test packages share the directory's import path.
+	PkgPath string
+	// PkgName is the package clause name (e.g. dram, dram_test).
+	PkgName string
+	// Pkg and Info hold type information; they are always non-nil, but may
+	// be partial when the package had type errors.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags    *[]Diagnostic
+	suppress map[string]map[int]map[string]bool // filename -> line -> analyzer set
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressedAt(pos token.Position) bool {
+	lines := p.suppress[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive waives its own line and the line below it (directive-only
+	// comment lines annotate the statement that follows).
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if set := lines[line]; set[p.Analyzer.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+const ignoreDirective = "shadowvet:ignore"
+
+// buildSuppressions scans a package's comments for ignore directives.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				text = strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				// Strip the optional "-- reason" tail.
+				if i := strings.Index(text, "--"); i >= 0 {
+					text = text[:i]
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					out[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, name := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					set[name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		suppress := buildSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.Path,
+				PkgName:  pkg.Name,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				suppress: suppress,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

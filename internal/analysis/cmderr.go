@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// dramPkgPath is the package whose command-issuing methods are protected.
+const dramPkgPath = "shadow/internal/dram"
+
+// CmdErr flags DRAM command-issuing calls whose error result is thrown
+// away: a dropped TimingError means a protocol violation (tRC too tight, an
+// ACT to a busy bank) silently vanishes and the simulation keeps running on
+// an impossible command stream. Every method of internal/dram whose last
+// result is an error must have that error checked — not discarded via a
+// bare call statement, a blank assignment, go, or defer.
+var CmdErr = &Analyzer{
+	Name: "cmderr",
+	Doc:  "forbid discarding the error of internal/dram command-issuing methods (Activate, Precharge, Refresh, RFM, ...)",
+	Run:  runCmdErr,
+}
+
+func runCmdErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					reportDramCmd(pass, call, "result ignored")
+				}
+			case *ast.GoStmt:
+				reportDramCmd(pass, n.Call, "error lost in go statement")
+			case *ast.DeferStmt:
+				reportDramCmd(pass, n.Call, "error lost in defer statement")
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !isDramCmd(pass, call) {
+					return true
+				}
+				// The error is the last result; flag when its receiver is blank.
+				if last, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && last.Name == "_" {
+					reportDramCmd(pass, call, "error assigned to _")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportDramCmd(pass *Pass, call *ast.CallExpr, how string) {
+	if !isDramCmd(pass, call) {
+		return
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	pass.Reportf(call.Pos(), "dram.%s returns a protocol error that must be checked (%s)", sel.Sel.Name, how)
+}
+
+// isDramCmd reports whether call invokes a method of package internal/dram
+// whose last result is an error.
+func isDramCmd(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != dramPkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

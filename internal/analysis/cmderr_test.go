@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestCmdErrFixtures(t *testing.T) {
+	checkFixture(t, CmdErr, loadFixture(t, "cmderr", ""))
+}

@@ -1,0 +1,27 @@
+package analysis
+
+import "testing"
+
+// The determinism fixtures masquerade as internal/sim: the analyzer only
+// polices the simulation packages.
+func TestDeterminismFlagsViolations(t *testing.T) {
+	checkFixture(t, Determinism, loadFixture(t, "determinism", "shadow/internal/sim"))
+}
+
+func TestDeterminismRestrictedToSimPackages(t *testing.T) {
+	// Under its real (non-simulation) import path the same fixture is not
+	// this analyzer's business: tooling may read the clock.
+	pkg := loadFixture(t, "determinism", "")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Errorf("determinism fired outside the simulation packages: %v", diags)
+	}
+}
+
+func TestDeterminismEveryRestrictedPackage(t *testing.T) {
+	for path := range restrictedPkgs {
+		pkg := loadFixture(t, "determinism", path)
+		if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) == 0 {
+			t.Errorf("determinism silent in restricted package %s", path)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLocksFixtures(t *testing.T) {
+	checkFixture(t, Locks, loadFixture(t, "locks", ""))
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicMsg enforces the repository's panic-message convention: every panic
+// must carry a message prefixed with the package name, "<pkg>: ...", so a
+// crash in a 16-channel simulation immediately names the subsystem at
+// fault. Accepted argument shapes: a string constant with the prefix, a
+// concatenation whose leftmost operand has it, or fmt.Sprintf/fmt.Errorf
+// whose format string has it.
+var PanicMsg = &Analyzer{
+	Name: "panicmsg",
+	Doc:  `require every panic message to carry the "<pkg>: " prefix (e.g. panic("dram: ...") in package dram)`,
+	Run:  runPanicMsg,
+}
+
+func runPanicMsg(pass *Pass) {
+	prefix := strings.TrimSuffix(pass.PkgName, "_test") + ": "
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj, ok := pass.Info.Uses[id]; ok {
+				if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+					return true // shadowed panic
+				}
+			}
+			if !panicArgOK(pass, call.Args[0], prefix) {
+				pass.Reportf(call.Pos(), "panic message must carry the %q prefix (got %s)", prefix, describeExpr(call.Args[0]))
+			}
+			return true
+		})
+	}
+}
+
+// panicArgOK reports whether the panic argument resolves to a message with
+// the required package prefix.
+func panicArgOK(pass *Pass, arg ast.Expr, prefix string) bool {
+	// Any string constant (literal, named const, or constant concatenation)
+	// is checked by value.
+	if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+	}
+	switch e := arg.(type) {
+	case *ast.ParenExpr:
+		return panicArgOK(pass, e.X, prefix)
+	case *ast.BinaryExpr:
+		// "pkg: bad thing " + detail — the leftmost operand carries the prefix.
+		return panicArgOK(pass, e.X, prefix)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+				obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+				(obj.Name() == "Sprintf" || obj.Name() == "Errorf" || obj.Name() == "Sprint") &&
+				len(e.Args) > 0 {
+				return panicArgOK(pass, e.Args[0], prefix)
+			}
+		}
+	}
+	return false
+}
+
+func describeExpr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if x, ok := sel.X.(*ast.Ident); ok {
+				return x.Name + "." + sel.Sel.Name + "(...)"
+			}
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			return id.Name + "(...)"
+		}
+	}
+	return "a non-constant expression"
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPanicMsgFixtures(t *testing.T) {
+	checkFixture(t, PanicMsg, loadFixture(t, "panicmsg", ""))
+}

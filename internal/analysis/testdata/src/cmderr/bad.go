@@ -1,0 +1,29 @@
+// Package cmderr is a shadowvet test fixture: DRAM command-issuing calls
+// whose protocol error is discarded.
+package cmderr
+
+import (
+	"shadow/internal/dram"
+	"shadow/internal/timing"
+)
+
+func ignoredStatement(d *dram.Device, now timing.Tick) {
+	d.Activate(0, 0, now) // want:cmderr
+	d.Refresh(now)        // want:cmderr
+}
+
+func blankAssign(d *dram.Device, now timing.Tick) {
+	_ = d.Precharge(0, now) // want:cmderr
+}
+
+func lostInGo(d *dram.Device, now timing.Tick) {
+	go d.RFM(0, now) // want:cmderr
+}
+
+func lostInDefer(d *dram.Device, now timing.Tick) {
+	defer d.Write(0, now) // want:cmderr
+}
+
+func bankLevel(b *dram.Bank, now timing.Tick) {
+	b.Activate(0, 0, now) // want:cmderr
+}

@@ -1,0 +1,28 @@
+package cmderr
+
+import (
+	"fmt"
+
+	"shadow/internal/dram"
+	"shadow/internal/timing"
+)
+
+func checked(d *dram.Device, now timing.Tick) error {
+	if err := d.Activate(0, 0, now); err != nil {
+		return err
+	}
+	return d.Precharge(0, now)
+}
+
+func handled(d *dram.Device, now timing.Tick) {
+	if err := d.Refresh(now); err != nil {
+		panic(fmt.Sprintf("cmderr: REF failed: %v", err))
+	}
+}
+
+// Error-free dram methods and non-dram calls are not this analyzer's
+// business.
+func unrelated(d *dram.Device) {
+	d.Banks()
+	fmt.Println(d.FlipCount())
+}

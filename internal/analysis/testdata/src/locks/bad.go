@@ -1,0 +1,56 @@
+// Package locks is a shadowvet test fixture: sync primitives copied by
+// value and Lock calls with no matching Unlock.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func use(*sync.Mutex) {}
+
+func byValueParam(mu sync.Mutex) {} // want:locks
+
+func byValueStruct(g guarded) int { // want:locks
+	return g.n
+}
+
+func byValueResult() (wg sync.WaitGroup) { // want:locks
+	return
+}
+
+func (g guarded) valueReceiver() int { // want:locks
+	return g.n
+}
+
+func copyAssign() {
+	var mu sync.Mutex
+	mu2 := mu // want:locks
+	use(&mu2)
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want:locks
+		total += g.n
+	}
+	return total
+}
+
+func lockNoUnlock(g *guarded) {
+	g.mu.Lock() // want:locks
+	g.n++
+}
+
+func rlockNoRUnlock(mu *sync.RWMutex) {
+	mu.RLock() // want:locks
+}
+
+func unlockInOtherFunc(g *guarded) {
+	g.mu.Lock() // want:locks
+	func() {
+		g.mu.Unlock() // a nested literal is a separate scope
+	}()
+}

@@ -1,0 +1,49 @@
+package locks
+
+import "sync"
+
+func pointerParam(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func lockUnlock(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func lockDefer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func freshZero() *sync.Mutex {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	return &mu
+}
+
+func rwRead(mu *sync.RWMutex) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return 1
+}
+
+func waitGroupByPointer(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// The goroutine body locks and unlocks within its own literal: both sides
+// live in the same scope, so the pairing check is satisfied.
+func pairedInLiteral(g *guarded) {
+	go func() {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}()
+}

@@ -1,0 +1,30 @@
+// Package panicmsg is a shadowvet test fixture: panics whose message does
+// not carry the "panicmsg: " package prefix.
+package panicmsg
+
+import (
+	"errors"
+	"fmt"
+)
+
+func bareErr(err error) {
+	if err != nil {
+		panic(err) // want:panicmsg
+	}
+}
+
+func wrongPrefix() {
+	panic("dram: wrong package's prefix") // want:panicmsg
+}
+
+func noPrefix() {
+	panic("boom") // want:panicmsg
+}
+
+func sprintfNoPrefix(x int) {
+	panic(fmt.Sprintf("bad value %d", x)) // want:panicmsg
+}
+
+func wrapped() {
+	panic(errors.New("panicmsg: prefix inside errors.New is not checkable")) // want:panicmsg
+}

@@ -1,0 +1,25 @@
+package panicmsg
+
+import "fmt"
+
+const constMsg = "panicmsg: constant message"
+
+func literal() {
+	panic("panicmsg: plain literal")
+}
+
+func sprintf(x int) {
+	panic(fmt.Sprintf("panicmsg: bad value %d", x))
+}
+
+func errorf(err error) {
+	panic(fmt.Errorf("panicmsg: wrapped: %w", err))
+}
+
+func concat(name string) {
+	panic("panicmsg: unknown name " + name)
+}
+
+func constant() {
+	panic(constMsg)
+}

@@ -115,7 +115,7 @@ func NewDevice(cfg Config) (*Device, error) {
 func MustNewDevice(cfg Config) *Device {
 	d, err := NewDevice(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("dram: invalid device config: %v", err))
 	}
 	return d
 }

@@ -42,11 +42,13 @@ func (t *Tracker) Observe(row int) int64 {
 		return 1
 	}
 	// Space-Saving replacement: evict a minimum-count entry and take over
-	// its count + 1 (an overestimate, never an underestimate).
+	// its count + 1 (an overestimate, never an underestimate). Ties break
+	// toward the lowest row so the evicted entry never depends on map
+	// iteration order.
 	minRow, minCount := -1, int64(1)<<62
 	for r, c := range t.counts {
-		if c < minCount {
-			minRow, minCount = r, c
+		if c < minCount || (c == minCount && r < minRow) {
+			minRow, minCount = r, c //shadowvet:ignore determinism -- order-independent min reduction (key tie-break)
 		}
 	}
 	delete(t.counts, minRow)
@@ -63,7 +65,7 @@ func (t *Tracker) Top() (row int, count int64, ok bool) {
 	best, bestC := -1, int64(-1)
 	for r, c := range t.counts {
 		if c > bestC || (c == bestC && r < best) {
-			best, bestC = r, c
+			best, bestC = r, c //shadowvet:ignore determinism -- order-independent max reduction (key tie-break)
 		}
 	}
 	if best < 0 {
@@ -82,7 +84,7 @@ func (t *Tracker) Mitigated(row int) {
 	min := int64(1) << 62
 	for _, c := range t.counts {
 		if c < min {
-			min = c
+			min = c //shadowvet:ignore determinism -- pure min over values, order-independent
 		}
 	}
 	t.counts[row] = min

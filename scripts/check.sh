@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# check.sh — the repository's full verification gate, as run in CI and by
+# `make verify`: formatting, go vet, the shadowvet static-analysis suite
+# (simulator determinism + DRAM-protocol invariants), the build, and the
+# test suite under the race detector.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l cmd internal examples bench_test.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> shadowvet"
+go run ./cmd/shadowvet ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "OK"
