@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the full gate every PR must pass.
 
-.PHONY: build test race vet fmt verify
+.PHONY: build test race vet fmt bench verify
 
 build:
 	go build ./...
@@ -17,6 +17,12 @@ vet:
 
 fmt:
 	gofmt -w cmd internal examples bench_test.go
+
+# One pass over every benchmark as a smoke test. For real measurements run
+# with -count=10 and compare with benchstat (see README "Observability &
+# profiling").
+bench:
+	go test -bench . -benchtime 1x -run '^$$' ./...
 
 verify:
 	./scripts/check.sh

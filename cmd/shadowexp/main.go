@@ -4,18 +4,27 @@
 //
 //	shadowexp [-experiment all|table2|table3|area|fig8|fig9|fig10|fig11|fig12|adversarial]
 //	          [-duration-us N] [-warmup-us N] [-cores N] [-seed N]
+//	          [-trace-out t.json] [-metrics-out m.json] [-progress]
 //
 // Durations default to the harness's quick settings; raise -duration-us for
 // higher-fidelity runs (the paper's windows are 32 ms = 32000 us).
+//
+// With -trace-out or -metrics-out, every scheme run of the selected
+// experiments records into one shadowscope recorder (one Perfetto track per
+// operating point); probing forces the point sweep to run sequentially.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"shadow/internal/exp"
+	"shadow/internal/obs"
 	"shadow/internal/timing"
 )
 
@@ -27,13 +36,45 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	format := flag.String("format", "text", "output format: text or csv")
 	chart := flag.Bool("chart", false, "also render performance figures as ASCII bar charts")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON covering every scheme run (forces sequential points)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics dump (.csv suffix selects CSV, else JSON; forces sequential points)")
+	progress := flag.Bool("progress", false, "print per-experiment progress lines to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
+	}
 
 	o := exp.RunOpts{
 		Duration: timing.Tick(*durationUS) * timing.Microsecond,
 		Warmup:   timing.Tick(*warmupUS) * timing.Microsecond,
 		Cores:    *cores,
 		Seed:     *seed,
+	}
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" {
+		rec = obs.NewRecorder(obs.Options{
+			Metrics: *metricsOut != "",
+			Events:  *traceOut != "",
+		})
+		o.ProbeFor = rec.NewTrack
 	}
 
 	type result struct {
@@ -80,11 +121,22 @@ func main() {
 			names = append(names, n)
 		}
 	}
-	for _, n := range names {
+	for i, n := range names {
+		start := time.Now()
+		if *progress {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s...\n", i+1, len(names), n)
+		}
 		r, err := runners[n]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
 			os.Exit(1)
+		}
+		if *progress {
+			line := fmt.Sprintf("[%d/%d] %s done in %v", i+1, len(names), n, time.Since(start).Round(time.Millisecond))
+			if rec != nil {
+				line += fmt.Sprintf(" (%d events)", rec.EventCount())
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 		switch *format {
 		case "csv":
@@ -95,5 +147,37 @@ func main() {
 		if *chart && len(r.points) > 0 {
 			fmt.Println(exp.Chart(r.table.Title+" (chart)", r.points))
 		}
+	}
+
+	if rec != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			exitOn(err)
+			exitOn(rec.WriteChromeTrace(f))
+			exitOn(f.Close())
+			fmt.Fprintf(os.Stderr, "trace: %d events over %d tracks -> %s (open in ui.perfetto.dev)\n",
+				rec.EventCount(), len(rec.Tracks()), *traceOut)
+			if d := rec.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "warning: %d events dropped; narrow -experiment or shorten -duration-us\n", d)
+			}
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			exitOn(err)
+			if strings.HasSuffix(*metricsOut, ".csv") {
+				exitOn(rec.Metrics().WriteCSV(f))
+			} else {
+				exitOn(rec.Metrics().WriteJSON(f))
+			}
+			exitOn(f.Close())
+			fmt.Fprintf(os.Stderr, "metrics: %s\n", *metricsOut)
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -6,24 +6,33 @@
 //
 //	shadowsim -scheme shadow -workload mix-high -hcnt 4096 -duration-us 200
 //	shadowsim -scheme baseline -workload mcf -grade ddr5
-//	shadowsim -list   # show available workloads and schemes
+//	shadowsim -scheme shadow -trace-out t.json -metrics-out m.json -timeline
+//	shadowsim -list   # show available workloads, schemes, and attacks
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"shadow/internal/cmdtrace"
 	"shadow/internal/dram"
 	"shadow/internal/exp"
 	"shadow/internal/hammer"
 	"shadow/internal/memctrl"
+	"shadow/internal/obs"
+	"shadow/internal/report"
 	"shadow/internal/sim"
 	"shadow/internal/timing"
 	"shadow/internal/trace"
 )
+
+// attackNames lists the -attack patterns, in -list order.
+var attackNames = []string{"single-sided", "double-sided", "blast", "half-double"}
 
 func main() {
 	scheme := flag.String("scheme", "shadow", "mitigation scheme")
@@ -34,17 +43,27 @@ func main() {
 	cores := flag.Int("cores", 4, "cores for multiprogrammed mixes")
 	durationUS := flag.Int("duration-us", 200, "simulated duration, microseconds")
 	seed := flag.Uint64("seed", 1, "seed")
-	attack := flag.String("attack", "", "run an attack instead of a workload: single-sided, double-sided, blast, half-double")
+	attack := flag.String("attack", "", "run an attack instead of a workload: "+strings.Join(attackNames, ", "))
 	verifyProtocol := flag.Bool("verify-protocol", false, "validate the MC's command stream with the independent JEDEC checker")
 	acts := flag.Int64("acts", 1<<16, "attack activation budget")
-	list := flag.Bool("list", false, "list workloads and schemes")
+	list := flag.Bool("list", false, "list workloads, schemes, and attacks")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (open in ui.perfetto.dev)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics dump (.csv suffix selects CSV, else JSON)")
+	timeline := flag.Bool("timeline", false, "print time-series strip charts after the run")
+	progress := flag.Bool("progress", false, "print a stderr progress heartbeat")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("schemes: baseline", strings.Join(schemeNames(), " "))
 		fmt.Println("workloads: mix-high mix-blend mix-random random-stream", strings.Join(trace.Names(), " "))
+		fmt.Println("attacks:", strings.Join(attackNames, " "))
 		return
 	}
+
+	startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	g := timing.DDR4_2666
 	if *grade == "ddr5" {
@@ -53,8 +72,26 @@ func main() {
 	o := exp.RunOpts{Duration: timing.Tick(*durationUS) * timing.Microsecond, Cores: *cores, Seed: *seed}
 	geo := o.Geometry(g)
 
+	var rec *obs.Recorder
+	var probe *obs.Probe
+	if *traceOut != "" || *metricsOut != "" || *timeline {
+		rec = obs.NewRecorder(obs.Options{
+			Metrics: *metricsOut != "" || *timeline,
+			Events:  *traceOut != "",
+		})
+		label := *scheme + "/" + *workload
+		if *attack != "" {
+			label = *scheme + "/attack:" + *attack
+		}
+		probe = rec.NewTrack(label)
+	}
+
 	if *attack != "" {
-		runAttack(*attack, exp.Scheme(*scheme), g, geo, *hcnt, *blast, *acts, *seed, o.Duration)
+		runAttack(*attack, exp.Scheme(*scheme), g, geo, *hcnt, *blast, *acts, *seed, o.Duration, probe)
+		writeObs(rec, *traceOut, *metricsOut)
+		if *timeline {
+			printTimeline(rec, 0)
+		}
 		return
 	}
 
@@ -96,13 +133,25 @@ func main() {
 		checker = cmdtrace.New(p, geo.Banks)
 		onCmd = func(ch int, c memctrl.Cmd) { checker.Observe(c) }
 	}
+	var hb *obs.Heartbeat
+	var progressFn func(timing.Tick)
+	if *progress {
+		hb = obs.NewHeartbeat(os.Stderr, *scheme+"/"+*workload, o.Duration, time.Now)
+		if rec != nil {
+			hb = hb.WithEvents(rec.EventCount)
+		}
+		progressFn = hb.Tick
+	}
 	res, err := sim.Run(sim.Config{
 		Params: p, Geometry: geo, DeviceMit: dm, MCSide: mc,
 		Hammer:    hammer.Config{HCnt: *hcnt, BlastRadius: *blast},
 		Workload:  workloads,
 		Duration:  o.Duration,
 		OnCommand: onCmd,
+		Probe:     probe,
+		Progress:  progressFn,
 	})
+	hb.Done()
 	exitOn(err)
 
 	fmt.Printf("scheme=%s workload=%s grade=%v hcnt=%d blast=%d duration=%v\n",
@@ -123,29 +172,125 @@ func main() {
 	if checker != nil {
 		if err := checker.Err(); err != nil {
 			fmt.Printf("protocol: %v\n", err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Printf("protocol: %d commands verified, 0 violations\n", checker.Commands())
 	}
+	writeObs(rec, *traceOut, *metricsOut)
+	if *timeline {
+		printTimeline(rec, o.Duration)
+	}
+}
+
+// writeObs dumps the recorder's trace and metrics to the requested files.
+func writeObs(rec *obs.Recorder, traceOut, metricsOut string) {
+	if rec == nil {
+		return
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		exitOn(err)
+		exitOn(rec.WriteChromeTrace(f))
+		exitOn(f.Close())
+		fmt.Printf("trace: %d events -> %s (open in ui.perfetto.dev)\n", rec.EventCount(), traceOut)
+		if n := rec.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d events dropped past the %d-event cap; raise obs.Options.MaxEvents or shorten the run\n", n, len(rec.Events()))
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		exitOn(err)
+		if strings.HasSuffix(metricsOut, ".csv") {
+			exitOn(rec.Metrics().WriteCSV(f))
+		} else {
+			exitOn(rec.Metrics().WriteJSON(f))
+		}
+		exitOn(f.Close())
+		fmt.Printf("metrics: %s\n", metricsOut)
+	}
+}
+
+// printTimeline renders every recorded time series as a terminal strip chart.
+func printTimeline(rec *obs.Recorder, duration timing.Tick) {
+	if rec == nil {
+		return
+	}
+	m := rec.Metrics()
+	names := m.SeriesNames()
+	if len(names) == 0 {
+		fmt.Println("timeline: no series recorded")
+		return
+	}
+	span := ""
+	if duration > 0 {
+		span = fmt.Sprintf("0 - %v, %v/column bucket", duration, m.SampleInterval())
+	}
+	c := &report.StripChart{Title: "timeline", Span: span}
+	for _, name := range names {
+		c.Add(name, m.LookupSeries(name).Values())
+	}
+	fmt.Print(c.String())
+}
+
+// Profiling hooks. stopProfiles is idempotent and must run before any
+// os.Exit so the pprof files are complete.
+var profileState struct {
+	cpu     *os.File
+	memPath string
+	stopped bool
+}
+
+func startProfiles(cpuPath, memPath string) {
+	profileState.memPath = memPath
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		profileState.cpu = f
+	}
+}
+
+func stopProfiles() {
+	if profileState.stopped {
+		return
+	}
+	profileState.stopped = true
+	if profileState.cpu != nil {
+		pprof.StopCPUProfile()
+		profileState.cpu.Close()
+	}
+	if profileState.memPath != "" {
+		f, err := os.Create(profileState.memPath)
+		if err == nil {
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+	}
+}
+
+// attackPattern builds a named attack pattern over the geometry.
+func attackPattern(name string, geo dram.Geometry) (trace.Pattern, error) {
+	victim := geo.RowsPerSubarray / 2
+	switch name {
+	case "single-sided":
+		return &trace.SingleSided{Bank: 0, Row: victim}, nil
+	case "double-sided":
+		return &trace.DoubleSided{Bank: 0, Victim: victim}, nil
+	case "blast":
+		return trace.Blast(0, victim, 2), nil
+	case "half-double":
+		return &trace.HalfDouble{Bank: 0, Victim: victim}, nil
+	}
+	return nil, fmt.Errorf("unknown attack %q (have: %s)", name, strings.Join(attackNames, ", "))
 }
 
 // runAttack mounts a Row Hammer pattern against the configured device and
 // reports flips plus a full integrity scrub.
-func runAttack(pattern string, scheme exp.Scheme, g timing.Grade, geo dram.Geometry, hcnt, blast int, acts int64, seed uint64, duration timing.Tick) {
-	victim := geo.RowsPerSubarray / 2
-	var pat trace.Pattern
-	switch pattern {
-	case "single-sided":
-		pat = &trace.SingleSided{Bank: 0, Row: victim}
-	case "double-sided":
-		pat = &trace.DoubleSided{Bank: 0, Victim: victim}
-	case "blast":
-		pat = trace.Blast(0, victim, 2)
-	case "half-double":
-		pat = &trace.HalfDouble{Bank: 0, Victim: victim}
-	default:
-		exitOn(fmt.Errorf("unknown attack %q", pattern))
-	}
+func runAttack(pattern string, scheme exp.Scheme, g timing.Grade, geo dram.Geometry, hcnt, blast int, acts int64, seed uint64, duration timing.Tick, probe *obs.Probe) {
+	pat, err := attackPattern(pattern, geo)
+	exitOn(err)
 	pt := exp.Point{Scheme: scheme, HCnt: hcnt, Blast: blast, Grade: g, Seed: seed}
 	p, dm, mcside := pt.Build(geo, duration)
 	res, err := sim.RunAttack(sim.AttackConfig{
@@ -156,6 +301,7 @@ func runAttack(pattern string, scheme exp.Scheme, g timing.Grade, geo dram.Geome
 		MCSide:    mcside,
 		MaxActs:   acts,
 		Duration:  timing.Forever / 2,
+		Probe:     probe,
 	}, pat)
 	exitOn(err)
 	fmt.Printf("attack=%s scheme=%s hcnt=%d blast=%d\n", pat.Name(), scheme, hcnt, blast)
@@ -199,6 +345,7 @@ func schemeNames() []string {
 
 func exitOn(err error) {
 	if err != nil {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -21,6 +21,11 @@ var restrictedPkgs = map[string]bool{
 	"shadow/internal/mitigate": true,
 	"shadow/internal/trace":    true,
 	"shadow/internal/exp":      true,
+	// The observability layer records from inside the simulation loop, so it
+	// is held to the same standard: instruments are keyed to simulated ticks
+	// and its one wall-clock consumer (the progress heartbeat) takes the
+	// clock as an injected func from the cmd layer.
+	"shadow/internal/obs": true,
 }
 
 // wallClockFuncs are time-package functions that read the wall clock.
@@ -34,7 +39,7 @@ var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "flag wall-clock reads, math/rand, and order-sensitive map iteration " +
-		"in the simulation packages (internal/{sim,dram,memctrl,shadow,mitigate,trace,exp})",
+		"in the simulation packages (internal/{sim,dram,memctrl,shadow,mitigate,trace,exp,obs})",
 	Run: runDeterminism,
 }
 

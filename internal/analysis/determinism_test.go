@@ -17,6 +17,16 @@ func TestDeterminismRestrictedToSimPackages(t *testing.T) {
 	}
 }
 
+// TestDeterminismCoversObs checks the observability layer is policed like
+// any simulation package: the obsprobe fixture seeds instrumentation-shaped
+// violations (wall-clock sample stamps, wall-time rates, global-rand
+// sampling, unsorted registry dumps) and sanctioned patterns (tick-bucketed
+// series, an injected clock func, keyed map writes, sort-after-append under
+// a waiver).
+func TestDeterminismCoversObs(t *testing.T) {
+	checkFixture(t, Determinism, loadFixture(t, "obsprobe", "shadow/internal/obs"))
+}
+
 func TestDeterminismEveryRestrictedPackage(t *testing.T) {
 	for path := range restrictedPkgs {
 		pkg := loadFixture(t, "determinism", path)

@@ -1,0 +1,52 @@
+// Package obsprobe is a shadowvet test fixture for the observability layer.
+// The test harness analyzes it under the import path shadow/internal/obs, so
+// every instrumentation antipattern seeded below must be flagged: metrics and
+// events recorded from inside the simulation loop must never observe wall
+// time, unseeded entropy, or map iteration order.
+package obsprobe
+
+import (
+	"math/rand" // want:determinism
+	"time"
+)
+
+// Tick mirrors timing.Tick (picoseconds of simulated time) so the fixture
+// stays stdlib-only.
+type Tick int64
+
+type sample struct {
+	at Tick
+	v  float64
+}
+
+type badSeries struct {
+	samples []sample
+}
+
+// Stamping a sample with the wall clock instead of the simulated tick makes
+// every trace differ run to run.
+func (s *badSeries) addStamped(v float64) {
+	s.samples = append(s.samples, sample{at: Tick(time.Now().UnixNano()), v: v}) // want:determinism
+}
+
+// Deriving an events/sec rate from wall time inside the recorder couples the
+// captured metrics to host load.
+func (s *badSeries) rate(start time.Time) float64 {
+	return float64(len(s.samples)) / time.Since(start).Seconds() // want:determinism
+}
+
+// Sampling decisions must come from the seeded shadow/internal/rng, never
+// the global math/rand source.
+func shouldSample() bool {
+	return rand.Float64() < 0.01 // want:determinism
+}
+
+// Dumping a metrics registry by ranging over the map emits rows in a
+// different order every run.
+func dumpNames(metrics map[string]int64) []string {
+	var names []string
+	for name := range metrics {
+		names = append(names, name) // want:determinism
+	}
+	return names
+}

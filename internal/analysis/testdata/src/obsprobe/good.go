@@ -1,0 +1,60 @@
+package obsprobe
+
+import (
+	"sort"
+	"time"
+)
+
+type goodSeries struct {
+	interval Tick
+	vals     []float64
+}
+
+// Bucketing by the simulated tick passed in from the simulator is the
+// sanctioned pattern: no clock, no entropy, pure arithmetic.
+func (s *goodSeries) add(now Tick, v float64) {
+	idx := int(now / s.interval)
+	for len(s.vals) <= idx {
+		s.vals = append(s.vals, 0)
+	}
+	s.vals[idx] += v
+}
+
+// heartbeat needs real wall time to rate-limit terminal output, so it takes
+// the clock as an injected func: the cmd layer passes time.Now, tests pass a
+// fake, and this package never reads the clock itself.
+type heartbeat struct {
+	clock     func() time.Time
+	lastPrint time.Time
+}
+
+func (h *heartbeat) due(minGap time.Duration) bool {
+	now := h.clock()
+	if now.Sub(h.lastPrint) < minGap {
+		return false
+	}
+	h.lastPrint = now
+	return true
+}
+
+// Keyed writes are order-independent: inverting a map is deterministic
+// regardless of iteration order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Collecting keys then sorting is the sanctioned way to serialize a
+// registry; the append carries a same-line waiver because the sort below
+// fixes the order.
+func sortedNames(metrics map[string]int64) []string {
+	names := make([]string, 0, len(metrics))
+	for name := range metrics {
+		names = append(names, name) //shadowvet:ignore determinism -- sorted immediately below
+	}
+	sort.Strings(names)
+	return names
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shadow/internal/hammer"
+	"shadow/internal/obs"
 	"shadow/internal/timing"
 )
 
@@ -59,6 +60,13 @@ type Device struct {
 	refRowsPerREF int
 	flips         []FlipRecord
 
+	// shadowscope instrumentation. cmdAt is the time of the command being
+	// executed, recorded so the flip sink (which has no time parameter) can
+	// timestamp flip events.
+	probe      *obs.Probe
+	flipSeries *obs.Series
+	cmdAt      timing.Tick
+
 	// Stats aggregated over banks plus rank-level commands.
 	Refs int64
 }
@@ -70,6 +78,8 @@ type Config struct {
 	Hammer   hammer.Config
 	// Mitigator defaults to Identity when nil.
 	Mitigator Mitigator
+	// Probe, when set, records bit-flip events and a flip-rate series.
+	Probe *obs.Probe
 }
 
 // NewDevice builds a rank.
@@ -92,7 +102,9 @@ func NewDevice(cfg Config) (*Device, error) {
 		p:     cfg.Params,
 		banks: make([]*Bank, cfg.Geometry.Banks),
 		mit:   mit,
+		probe: cfg.Probe,
 	}
+	d.flipSeries = cfg.Probe.Series("dram/flips")
 	// Auto-refresh must cover every DA row once per tREFW: rows per REF =
 	// ceil(rows / (REFW/REFI)).
 	slots := int(cfg.Params.REFW / cfg.Params.REFI)
@@ -104,6 +116,13 @@ func NewDevice(cfg Config) (*Device, error) {
 		b := newBank(i, cfg.Geometry, cfg.Params, cfg.Hammer)
 		b.flipSink = func(bankID, sub, da int, f hammer.Flip) {
 			d.flips = append(d.flips, FlipRecord{Bank: bankID, Sub: sub, DA: da, Flip: f})
+			if d.probe != nil {
+				d.probe.Emit(obs.Event{
+					At: d.cmdAt, Kind: obs.KindFlip,
+					Bank: bankID, Row: da, Aux: int64(sub),
+				})
+				d.flipSeries.Add(d.cmdAt, 1)
+			}
 		}
 		d.banks[i] = b
 	}
@@ -149,6 +168,7 @@ func (d *Device) Activate(bank, paRow int, now timing.Tick) error {
 	}
 	b := d.banks[bank]
 	sub, da := d.translate(b, paRow)
+	d.cmdAt = now
 	if err := b.Activate(sub, da, now); err != nil {
 		return err
 	}
@@ -236,6 +256,7 @@ func (d *Device) RFM(bank int, now timing.Tick) error {
 	if b.RAA < 0 {
 		b.RAA = 0
 	}
+	d.cmdAt = now
 	d.mit.OnRFM(b, now)
 	b.setBusy(now + d.p.RFM)
 	return nil

@@ -42,6 +42,7 @@ import (
 	"shadow/internal/dram"
 	"shadow/internal/hammer"
 	"shadow/internal/mitigate"
+	"shadow/internal/obs"
 	"shadow/internal/security"
 	"shadow/internal/shadow"
 	"shadow/internal/sim"
@@ -214,8 +215,14 @@ type RunOpts struct {
 	// Subarrays shrinks per-bank subarray count to bound memory (default 16).
 	Subarrays int
 	// Workers bounds the number of operating points simulated concurrently
-	// (default GOMAXPROCS).
+	// (default GOMAXPROCS; forced to 1 when ProbeFor is set).
 	Workers int
+	// ProbeFor, when set, supplies a shadowscope probe for each scheme run,
+	// keyed by a "<scheme>/<workloads>/h<hcnt>" label. Baseline runs are
+	// never probed (they are shared through the cache and must stay
+	// unperturbed). Setting it forces Workers=1: a Recorder is not safe for
+	// concurrent use.
+	ProbeFor func(label string) *obs.Probe
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -230,6 +237,9 @@ func (o RunOpts) withDefaults() RunOpts {
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ProbeFor != nil {
+		o.Workers = 1
 	}
 	return o
 }
@@ -258,17 +268,34 @@ func runPoint(pt Point, profiles []trace.Profile, o RunOpts) (float64, *sim.Resu
 	}
 
 	p, dm, mc := pt.Build(geo, o.Duration)
+	var probe *obs.Probe
+	if o.ProbeFor != nil {
+		probe = o.ProbeFor(pointLabel(pt, profiles))
+	}
 	res, err := sim.Run(sim.Config{
 		Params: p, Geometry: geo, DeviceMit: dm, MCSide: mc,
 		Hammer:   hammer.Config{HCnt: 1 << 30, BlastRadius: 3},
 		Workload: trace.Generators(profiles, geo, o.Seed),
 		Duration: total,
 		Warmup:   o.Warmup,
+		Probe:    probe,
 	})
 	if err != nil {
 		return 0, nil, err
 	}
 	return sim.WeightedSpeedup(res, baseRes), res, nil
+}
+
+// pointLabel names a scheme run's shadowscope track.
+func pointLabel(pt Point, profiles []trace.Profile) string {
+	names := ""
+	for i, p := range profiles {
+		if i > 0 {
+			names += "+"
+		}
+		names += p.Name
+	}
+	return fmt.Sprintf("%s/%s/h%d", pt.Scheme, names, pt.HCnt)
 }
 
 // clampWS bounds working sets to the geometry.

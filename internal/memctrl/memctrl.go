@@ -15,6 +15,7 @@ import (
 
 	"shadow/internal/dram"
 	"shadow/internal/mitigate"
+	"shadow/internal/obs"
 	"shadow/internal/timing"
 )
 
@@ -107,6 +108,10 @@ type Options struct {
 	// OnCommand, when set, observes every DRAM command the controller
 	// issues (protocol validation, command-trace dumps).
 	OnCommand func(Cmd)
+	// Probe, when set, attaches shadowscope instrumentation: the command
+	// stream as trace events plus read-latency / queue-depth / row-locality
+	// histograms and ACT/RFM rate series. Nil costs one check per command.
+	Probe *obs.Probe
 }
 
 type bankCtl struct {
@@ -123,6 +128,10 @@ type bankCtl struct {
 	// trrOpen marks the open row as a TRR activation: no column traffic,
 	// precharge as soon as tRAS allows.
 	trrOpen bool
+	// colsSinceAct / actSeen track the column-per-activation streak for the
+	// row-buffer locality histogram.
+	colsSinceAct int
+	actSeen      bool
 }
 
 // Controller drives one rank.
@@ -149,6 +158,16 @@ type Controller struct {
 	nextRefreshAt timing.Tick
 	refreshDrain  bool
 	refreshBank   int // next REFsb target when SameBankRefresh is on
+
+	// shadowscope instruments, resolved once at construction; all are
+	// nil-inert when no probe is attached.
+	probe       *obs.Probe
+	latHist     *obs.Histogram
+	depthHist   *obs.Histogram
+	localHist   *obs.Histogram
+	actSeries   *obs.Series
+	rfmSeries   *obs.Series
+	blockSeries *obs.Series
 
 	Stats Stats
 }
@@ -183,6 +202,13 @@ func New(dev *dram.Device, opt Options) *Controller {
 	for i := range c.actWindow {
 		c.actWindow[i] = -dev.Params().FAW
 	}
+	c.probe = opt.Probe
+	c.latHist = c.probe.Histogram("mc/read_latency_ticks")
+	c.depthHist = c.probe.Histogram("mc/queue_depth")
+	c.localHist = c.probe.Histogram("mc/row_hits_per_act")
+	c.actSeries = c.probe.Series("mc/acts")
+	c.rfmSeries = c.probe.Series("mc/rfms")
+	c.blockSeries = c.probe.Series("mc/blocked_ticks")
 	return c
 }
 
@@ -203,6 +229,7 @@ func (c *Controller) Enqueue(r *Request) bool {
 		return false
 	}
 	b.queue = append(b.queue, r)
+	c.depthHist.Observe(int64(len(b.queue)))
 	return true
 }
 
@@ -331,6 +358,9 @@ func (c *Controller) tryTRR(now timing.Tick, i int) (timing.Tick, bool) {
 		panic(fmt.Sprintf("memctrl: TRR ACT: %v", err))
 	}
 	c.log(CmdACT, i, row, now)
+	if c.probe != nil {
+		c.probe.Emit(obs.Event{At: now, Kind: obs.KindTRR, Bank: i, Row: row})
+	}
 	b.trr = b.trr[1:]
 	b.open = true
 	b.openRow = row
@@ -349,11 +379,36 @@ func (c *Controller) afterCmd(now timing.Tick) timing.Tick {
 	return c.cmdBusFreeAt
 }
 
-// log reports an issued command to the OnCommand hook.
+// log reports an issued command to the OnCommand hook and the probe.
 func (c *Controller) log(kind CmdKind, bank, row int, at timing.Tick) {
 	if c.opt.OnCommand != nil {
 		c.opt.OnCommand(Cmd{Kind: kind, Bank: bank, Row: row, At: at})
 	}
+	if c.probe == nil {
+		return
+	}
+	var k obs.Kind
+	var dur timing.Tick
+	switch kind {
+	case CmdACT:
+		k, dur = obs.KindACT, c.p.RCD
+		c.actSeries.Add(at, 1)
+	case CmdPRE:
+		k, dur = obs.KindPRE, c.p.RP
+	case CmdRD:
+		k, dur = obs.KindRD, c.p.AA+c.p.BL
+	case CmdWR:
+		k, dur = obs.KindWR, c.p.WL+c.p.BL
+	case CmdREF:
+		k, dur = obs.KindREF, c.p.RFC
+		if bank >= 0 {
+			dur = c.p.RFCsb
+		}
+	case CmdRFM:
+		k, dur = obs.KindRFM, c.p.RFM
+		c.rfmSeries.Add(at, 1)
+	}
+	c.probe.Emit(obs.Event{At: at, Dur: dur, Kind: k, Bank: bank, Row: row})
 }
 
 // tryRefresh advances the refresh drain: precharge open banks, then issue
@@ -547,6 +602,7 @@ func (c *Controller) issueColumn(now timing.Tick, i int, req *Request, idx int) 
 		c.Stats.Reads++
 		c.Stats.CompletedReads++
 		c.Stats.ReadLatency += req.Done - req.Arrive
+		c.latHist.Observe(int64(req.Done - req.Arrive))
 	}
 	if err != nil {
 		panic(fmt.Sprintf("memctrl: column: %v", err))
@@ -559,6 +615,7 @@ func (c *Controller) issueColumn(now timing.Tick, i int, req *Request, idx int) 
 	c.colGlobalAt = now + c.p.CCDS
 	c.colGroupAt[bankGroup(i)] = now + c.p.CCDL
 	b := &c.banks[i]
+	b.colsSinceAct++
 	b.queue = append(b.queue[:idx], b.queue[idx+1:]...)
 	if c.opt.OnComplete != nil {
 		c.opt.OnComplete(req)
@@ -655,6 +712,11 @@ func (c *Controller) tryDemand(now timing.Tick, i int) (timing.Tick, bool) {
 		panic(fmt.Sprintf("memctrl: ACT: %v", err))
 	}
 	c.log(CmdACT, i, phys, now)
+	if b.actSeen {
+		c.localHist.Observe(int64(b.colsSinceAct))
+	}
+	b.actSeen = true
+	b.colsSinceAct = 0
 	b.open = true
 	b.openRow = phys
 	b.actFor = req
@@ -706,6 +768,13 @@ func (c *Controller) performSwap(s *mitigate.SwapRequest, now timing.Tick) {
 	c.blockedUntil = maxTick(c.blockedUntil, until)
 	c.Stats.BlockedTime += until - now
 	c.Stats.Swaps++
+	if c.probe != nil {
+		c.probe.Emit(obs.Event{
+			At: now, Dur: until - now, Kind: obs.KindSwap,
+			Bank: s.Bank, Row: s.RowA, Aux: int64(s.RowB),
+		})
+		c.blockSeries.Add(now, float64(until-now))
+	}
 }
 
 // RowHitRate returns the fraction of column commands served without an ACT.

@@ -2,6 +2,7 @@ package mitigate
 
 import (
 	"shadow/internal/hammer"
+	"shadow/internal/obs"
 	"shadow/internal/timing"
 )
 
@@ -17,6 +18,9 @@ type BlockHammer struct {
 	cfg BlockHammerConfig
 
 	banks map[int]*bhBank
+
+	probe          *obs.Probe
+	throttleSeries *obs.Series
 
 	// Stats
 	Blacklisted int64       // ACTs that hit the blacklist
@@ -59,6 +63,13 @@ func NewBlockHammer(cfg BlockHammerConfig) *BlockHammer {
 
 // Name implements MCSide.
 func (bh *BlockHammer) Name() string { return "blockhammer" }
+
+// SetProbe (re)attaches shadowscope instrumentation: throttle decisions as
+// events plus a throttled-ACT rate series. A nil probe detaches.
+func (bh *BlockHammer) SetProbe(p *obs.Probe) {
+	bh.probe = p
+	bh.throttleSeries = p.Series("blockhammer/throttled")
+}
 
 // TranslateRow implements MCSide (identity).
 func (bh *BlockHammer) TranslateRow(bank, paRow int) int { return paRow }
@@ -138,6 +149,13 @@ func (bh *BlockHammer) OnACT(bank, paRow int, now timing.Tick) *Action {
 	if b.cbf.Estimate(key) >= bh.blacklistThreshold() {
 		b.lastACT[paRow] = now
 		bh.Blacklisted++
+		if bh.probe != nil {
+			bh.probe.Emit(obs.Event{
+				At: now, Dur: bh.throttleDelay(), Kind: obs.KindThrottle,
+				Bank: bank, Row: paRow,
+			})
+			bh.throttleSeries.Add(now, 1)
+		}
 	}
 	return nil
 }

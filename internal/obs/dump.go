@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// metricsDump is the JSON shape of a metrics export. Maps marshal with
+// sorted keys, so the output is byte-deterministic.
+type metricsDump struct {
+	SampleIntervalPS int64                    `json:"sample_interval_ps"`
+	Counters         map[string]int64         `json:"counters,omitempty"`
+	Gauges           map[string]int64         `json:"gauges,omitempty"`
+	Histograms       map[string]histogramDump `json:"histograms,omitempty"`
+	Series           map[string][]float64     `json:"series,omitempty"`
+}
+
+type histogramDump struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	Buckets []bucketDump `json:"buckets,omitempty"`
+}
+
+type bucketDump struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+func (m *Metrics) dump() metricsDump {
+	d := metricsDump{SampleIntervalPS: int64(m.interval)}
+	if len(m.counters) > 0 {
+		d.Counters = make(map[string]int64, len(m.counters))
+		for _, k := range sortedKeysCounter(m.counters) {
+			d.Counters[k] = m.counters[k].Value()
+		}
+	}
+	if len(m.gauges) > 0 {
+		d.Gauges = make(map[string]int64, len(m.gauges))
+		for _, k := range sortedKeysGauge(m.gauges) {
+			d.Gauges[k] = m.gauges[k].Value()
+		}
+	}
+	if len(m.hists) > 0 {
+		d.Histograms = make(map[string]histogramDump, len(m.hists))
+		for _, k := range sortedKeysHistogram(m.hists) {
+			h := m.hists[k]
+			hd := histogramDump{
+				Count: h.Count(), Sum: h.Sum(),
+				Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
+			}
+			for _, b := range h.Buckets() {
+				hd.Buckets = append(hd.Buckets, bucketDump{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+			}
+			d.Histograms[k] = hd
+		}
+	}
+	if len(m.series) > 0 {
+		d.Series = make(map[string][]float64, len(m.series))
+		for _, k := range sortedKeysSeries(m.series) {
+			d.Series[k] = m.series[k].Values()
+		}
+	}
+	return d
+}
+
+// WriteJSON dumps every instrument as indented JSON. Safe on a nil registry
+// (writes an empty document).
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.dump())
+}
+
+// WriteCSV dumps every instrument as flat `kind,name,field,value` rows,
+// sorted by kind then name, for spreadsheet or awk consumption. Safe on a
+// nil registry (writes only the header).
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "kind,name,field,value\n"); err != nil {
+		return err
+	}
+	if m == nil {
+		return nil
+	}
+	row := func(kind, name, field string, value any) error {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%v\n", kind, name, field, value)
+		return err
+	}
+	for _, k := range sortedKeysCounter(m.counters) {
+		if err := row("counter", k, "value", m.counters[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeysGauge(m.gauges) {
+		if err := row("gauge", k, "value", m.gauges[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeysHistogram(m.hists) {
+		h := m.hists[k]
+		if err := row("histogram", k, "count", h.Count()); err != nil {
+			return err
+		}
+		if err := row("histogram", k, "sum", h.Sum()); err != nil {
+			return err
+		}
+		if err := row("histogram", k, "min", h.Min()); err != nil {
+			return err
+		}
+		if err := row("histogram", k, "max", h.Max()); err != nil {
+			return err
+		}
+		if err := row("histogram", k, "mean", fmt.Sprintf("%.3f", h.Mean())); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets() {
+			if err := row("histogram", k, fmt.Sprintf("bucket[%d-%d]", b.Lo, b.Hi), b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	for _, k := range sortedKeysSeries(m.series) {
+		for i, v := range m.series[k].Values() {
+			if err := row("series", k, fmt.Sprintf("t%d", i), fmt.Sprintf("%g", v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+
+	"shadow/internal/timing"
+)
+
+// Kind classifies a structured event.
+type Kind uint8
+
+// Event kinds: the DRAM command stream plus the mitigation decisions and
+// faults the paper's diagnosis needs time-resolved.
+const (
+	// DRAM commands, as issued by the memory controller.
+	KindACT Kind = iota
+	KindPRE
+	KindRD
+	KindWR
+	KindREF
+	KindRFM
+	// Mitigation actions.
+	KindTRR        // MC-side target-row-refresh activation (Graphene, PARA)
+	KindShuffle    // SHADOW row-shuffle (Row is the sampled aggressor PA row; Aux its subarray)
+	KindIncRefresh // SHADOW incremental refresh (Row is the refreshed DA row)
+	KindSwap       // RRS row swap (Row/Aux are the PA rows; Dur the channel-blocking time)
+	KindThrottle   // BlockHammer throttle decision (Dur is the enforced minimum ACT gap)
+	// Faults.
+	KindFlip // Row Hammer bit flip (Row is the victim DA row; Aux its subarray)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindACT:
+		return "ACT"
+	case KindPRE:
+		return "PRE"
+	case KindRD:
+		return "RD"
+	case KindWR:
+		return "WR"
+	case KindREF:
+		return "REF"
+	case KindRFM:
+		return "RFM"
+	case KindTRR:
+		return "TRR"
+	case KindShuffle:
+		return "shuffle"
+	case KindIncRefresh:
+		return "inc-refresh"
+	case KindSwap:
+		return "swap"
+	case KindThrottle:
+		return "throttle"
+	case KindFlip:
+		return "flip"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Category groups kinds for trace filtering: "cmd", "mitigation", "fault".
+func (k Kind) Category() string {
+	switch k {
+	case KindACT, KindPRE, KindRD, KindWR, KindREF, KindRFM:
+		return "cmd"
+	case KindFlip:
+		return "fault"
+	}
+	return "mitigation"
+}
+
+// Event is one structured observation. Zero Dur means an instant.
+type Event struct {
+	At   timing.Tick
+	Dur  timing.Tick
+	Kind Kind
+	// PID is the trace group (track + channel), filled by Probe.Emit.
+	PID int
+	// Bank is the bank index, -1 for rank-level commands (all-bank REF).
+	Bank int
+	// Row is the kind-specific row (-1 when not applicable).
+	Row int
+	// Aux carries the kind-specific extra operand; see the Kind comments.
+	Aux int64
+}

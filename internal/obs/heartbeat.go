@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"shadow/internal/timing"
+)
+
+// Heartbeat prints a rate-limited progress line to a writer: simulated-time
+// percentage, simulated-vs-wall speed, and (optionally) events/sec. It is
+// the only obs component that needs wall time, and it takes the clock as an
+// injected func so the simulation core stays free of wall-clock reads: pass
+// time.Now from the cmd layer.
+type Heartbeat struct {
+	w      io.Writer
+	label  string
+	total  timing.Tick
+	clock  func() time.Time
+	events func() int64
+
+	minGap     time.Duration
+	started    time.Time
+	lastPrint  time.Time
+	lastSim    timing.Tick
+	lastEvents int64
+	printed    bool
+}
+
+// NewHeartbeat builds a heartbeat for a run covering total simulated ticks.
+// clock supplies wall time (time.Now in production, a fake in tests).
+func NewHeartbeat(w io.Writer, label string, total timing.Tick, clock func() time.Time) *Heartbeat {
+	now := clock()
+	return &Heartbeat{
+		w: w, label: label, total: total, clock: clock,
+		minGap: 500 * time.Millisecond, started: now, lastPrint: now,
+	}
+}
+
+// WithEvents attaches an event-count source (e.g. Recorder.EventCount) so
+// progress lines include an events/sec rate.
+func (h *Heartbeat) WithEvents(events func() int64) *Heartbeat {
+	h.events = events
+	return h
+}
+
+// Tick reports simulated progress; it prints at most once per 500ms of wall
+// time. Safe on a nil receiver.
+func (h *Heartbeat) Tick(now timing.Tick) {
+	if h == nil {
+		return
+	}
+	wall := h.clock()
+	dt := wall.Sub(h.lastPrint)
+	if h.printed && dt < h.minGap {
+		return
+	}
+	pct := 0.0
+	if h.total > 0 {
+		pct = 100 * float64(now) / float64(h.total)
+	}
+	simRate := 0.0 // simulated microseconds per wall second
+	if secs := dt.Seconds(); secs > 0 {
+		simRate = float64(now-h.lastSim) / float64(timing.Microsecond) / secs
+	}
+	line := fmt.Sprintf("\r%s %5.1f%%  %8.1f sim-us/s", h.label, pct, simRate)
+	if h.events != nil {
+		n := h.events()
+		evRate := 0.0
+		if secs := dt.Seconds(); secs > 0 {
+			evRate = float64(n-h.lastEvents) / secs
+		}
+		h.lastEvents = n
+		line += fmt.Sprintf("  %10.0f events/s", evRate)
+	}
+	fmt.Fprint(h.w, line)
+	h.printed = true
+	h.lastPrint = wall
+	h.lastSim = now
+}
+
+// Done terminates the progress line (prints the trailing newline only if a
+// progress line was ever printed). Safe on a nil receiver.
+func (h *Heartbeat) Done() {
+	if h == nil || !h.printed {
+		return
+	}
+	elapsed := h.clock().Sub(h.started)
+	fmt.Fprintf(h.w, "\r%s 100.0%%  done in %s\n", h.label, elapsed.Round(time.Millisecond))
+}

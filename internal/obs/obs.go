@@ -1,0 +1,205 @@
+// Package obs is shadowscope: the simulator's deterministic observability
+// layer — metrics (counters, gauges, tick-bucketed histograms,
+// fixed-interval time series) and a structured event sink capturing DRAM
+// commands, RFM issues, SHADOW shuffles, RRS swaps, and BlockHammer
+// throttle decisions.
+//
+// Two properties define the design:
+//
+//   - Determinism. Every instrument is keyed to *simulated* time
+//     (timing.Tick); nothing in this package reads the wall clock or any
+//     unseeded entropy source, so it passes the shadowvet determinism
+//     analyzer and instrumented same-seed runs stay bit-identical. The one
+//     component that needs wall time — the progress Heartbeat — takes the
+//     clock as an injected func from the (unrestricted) cmd layer.
+//
+//   - Nil-safety. The off path costs one nil check: a nil *Probe, and every
+//     instrument obtained from it, is valid and inert. Simulation code
+//     stores instruments unconditionally and calls them on hot paths with
+//     no branches of its own.
+//
+// A Recorder owns the collected data for one run and renders it through
+// WriteChromeTrace (Perfetto-viewable trace-event JSON, one process track
+// per channel, one thread track per bank) and the Metrics dump
+// (WriteJSON/WriteCSV). Probes are handed out per track (NewTrack) and per
+// channel (ForChannel); the simulator threads them through the memory
+// controller, the DRAM device, and the mitigation schemes.
+//
+// A Recorder is not safe for concurrent use: attach it to one
+// single-threaded simulation at a time (the experiment harness forces
+// Workers=1 when probing for exactly this reason).
+package obs
+
+import (
+	"fmt"
+
+	"shadow/internal/timing"
+)
+
+// trackStride spaces track base PIDs so per-channel probes (ForChannel) can
+// derive distinct PIDs without registration.
+const trackStride = 64
+
+// Options selects what a Recorder collects. The zero value collects
+// nothing (useful only for benchmarks of the probe overhead itself).
+type Options struct {
+	// Metrics enables the instrument registry (counters, gauges,
+	// histograms, series).
+	Metrics bool
+	// Events enables the structured event sink.
+	Events bool
+	// SampleInterval is the bucket width of every time series (default
+	// 1 us of simulated time).
+	SampleInterval timing.Tick
+	// MaxEvents bounds the event sink's memory (default 1<<22 ≈ 4M
+	// events); excess events are counted in Dropped, never silently lost.
+	MaxEvents int
+}
+
+// Track is one top-level trace group (a Chrome trace "process"): one per
+// simulation run, or one per experiment operating point.
+type Track struct {
+	PID  int
+	Name string
+}
+
+// Recorder owns the observability data of one run.
+type Recorder struct {
+	opt     Options
+	met     *Metrics
+	events  []Event
+	dropped int64
+	tracks  []Track
+}
+
+// NewRecorder builds a recorder.
+func NewRecorder(opt Options) *Recorder {
+	if opt.SampleInterval <= 0 {
+		opt.SampleInterval = timing.Microsecond
+	}
+	if opt.MaxEvents <= 0 {
+		opt.MaxEvents = 1 << 22
+	}
+	r := &Recorder{opt: opt}
+	if opt.Metrics {
+		r.met = newMetrics(opt.SampleInterval)
+	}
+	return r
+}
+
+// NewTrack allocates a new top-level trace group and returns its probe.
+// The track name prefixes every metric recorded through the probe, so
+// multiple tracks (one per experiment operating point) never collide in the
+// shared registry.
+func (r *Recorder) NewTrack(name string) *Probe {
+	pid := len(r.tracks) * trackStride
+	r.tracks = append(r.tracks, Track{PID: pid, Name: name})
+	return &Probe{rec: r, pid: pid, prefix: name + "/"}
+}
+
+// Metrics returns the instrument registry (nil when metrics are disabled).
+func (r *Recorder) Metrics() *Metrics { return r.met }
+
+// Events returns the captured events in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// EventCount returns how many events have been captured so far.
+func (r *Recorder) EventCount() int64 { return int64(len(r.events)) }
+
+// Dropped returns how many events were discarded after MaxEvents.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Tracks returns the allocated trace groups.
+func (r *Recorder) Tracks() []Track { return r.tracks }
+
+func (r *Recorder) emit(e Event) {
+	if !r.opt.Events {
+		return
+	}
+	if len(r.events) >= r.opt.MaxEvents {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// trackName resolves a PID (base track or channel-derived) to a display
+// name for trace metadata.
+func (r *Recorder) trackName(pid int) string {
+	base, ch := pid/trackStride, pid%trackStride
+	name := fmt.Sprintf("track %d", base)
+	if base < len(r.tracks) {
+		name = r.tracks[base].Name
+	}
+	if ch > 0 {
+		name = fmt.Sprintf("%s ch%d", name, ch)
+	}
+	return name
+}
+
+// Probe is the instrumentation handle threaded through the simulator. A
+// nil *Probe is valid and disables everything; every method is safe on the
+// nil receiver.
+type Probe struct {
+	rec    *Recorder
+	pid    int
+	prefix string
+}
+
+// Enabled reports whether the probe records anything at all.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// ForChannel derives a per-channel probe: channel ch's events land on
+// PID base+ch and its metric names gain a "ch<N>/" prefix. Channel 0 is
+// the base track itself.
+func (p *Probe) ForChannel(ch int) *Probe {
+	if p == nil || ch == 0 {
+		return p
+	}
+	if ch < 0 || ch >= trackStride {
+		panic(fmt.Sprintf("obs: channel %d out of range [0,%d)", ch, trackStride))
+	}
+	return &Probe{rec: p.rec, pid: p.pid + ch, prefix: fmt.Sprintf("%sch%d/", p.prefix, ch)}
+}
+
+// Emit records a structured event (no-op when events are disabled).
+func (p *Probe) Emit(e Event) {
+	if p == nil {
+		return
+	}
+	e.PID = p.pid
+	p.rec.emit(e)
+}
+
+// Counter returns (creating on first use) the named counter, nil-inert
+// when the probe or the metrics registry is off.
+func (p *Probe) Counter(name string) *Counter {
+	if p == nil {
+		return nil
+	}
+	return p.rec.met.Counter(p.prefix + name)
+}
+
+// Gauge returns the named gauge.
+func (p *Probe) Gauge(name string) *Gauge {
+	if p == nil {
+		return nil
+	}
+	return p.rec.met.Gauge(p.prefix + name)
+}
+
+// Histogram returns the named histogram.
+func (p *Probe) Histogram(name string) *Histogram {
+	if p == nil {
+		return nil
+	}
+	return p.rec.met.Histogram(p.prefix + name)
+}
+
+// Series returns the named fixed-interval time series.
+func (p *Probe) Series(name string) *Series {
+	if p == nil {
+		return nil
+	}
+	return p.rec.met.Series(p.prefix + name)
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"shadow/internal/timing"
+)
+
+func TestNilProbeIsInert(t *testing.T) {
+	var p *Probe
+	if p.Enabled() {
+		t.Fatal("nil probe reports Enabled")
+	}
+	if q := p.ForChannel(3); q != nil {
+		t.Fatalf("nil probe ForChannel = %v, want nil", q)
+	}
+	p.Emit(Event{Kind: KindACT}) // must not panic
+	p.Counter("c").Inc()
+	p.Gauge("g").Set(7)
+	p.Histogram("h").Observe(42)
+	p.Series("s").Add(timing.Microsecond, 1)
+	if got := p.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	if got := p.Histogram("h").Mean(); got != 0 {
+		t.Fatalf("nil histogram Mean = %g, want 0", got)
+	}
+	if got := p.Series("s").Values(); got != nil {
+		t.Fatalf("nil series Values = %v, want nil", got)
+	}
+}
+
+func TestNilMetricsRegistry(t *testing.T) {
+	// Events-only recorder: probe is live but the registry is nil, so
+	// instruments must still be inert.
+	rec := NewRecorder(Options{Events: true})
+	p := rec.NewTrack("run")
+	p.Counter("c").Inc()
+	p.Histogram("h").Observe(1)
+	if rec.Metrics() != nil {
+		t.Fatal("events-only recorder has a metrics registry")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	rec := NewRecorder(Options{Metrics: true})
+	p := rec.NewTrack("run")
+	c := p.Counter("acts")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := p.Counter("acts"); got != c {
+		t.Fatal("Counter does not return the same instrument for the same name")
+	}
+	g := p.Gauge("depth")
+	g.Set(9)
+	g.Set(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 3, 4, 7, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 || h.Sum() != 1016 {
+		t.Fatalf("count/sum = %d/%d, want 7/1016", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Fatalf("min/max = %d/%d, want 0/1000", h.Min(), h.Max())
+	}
+	want := []Bucket{
+		{Lo: 0, Hi: 0, Count: 1},      // 0
+		{Lo: 1, Hi: 1, Count: 2},      // 1, 1
+		{Lo: 2, Hi: 3, Count: 1},      // 3
+		{Lo: 4, Hi: 7, Count: 2},      // 4, 7
+		{Lo: 512, Hi: 1023, Count: 1}, // 1000
+	}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeriesBucketing(t *testing.T) {
+	rec := NewRecorder(Options{Metrics: true, SampleInterval: 10})
+	s := rec.NewTrack("run").Series("rfm")
+	s.Add(0, 1)
+	s.Add(9, 1)  // same bucket
+	s.Add(10, 2) // next bucket
+	s.Add(35, 5) // bucket 3, skipping 2
+	want := []float64{2, 2, 0, 5}
+	got := s.Values()
+	if len(got) != len(want) {
+		t.Fatalf("series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForChannelPrefixesAndPIDs(t *testing.T) {
+	rec := NewRecorder(Options{Metrics: true, Events: true})
+	p := rec.NewTrack("run")
+	p2 := rec.NewTrack("other")
+	ch1 := p2.ForChannel(1)
+	ch1.Counter("acts").Inc()
+	ch1.Emit(Event{At: 5, Kind: KindACT, Bank: 0})
+	if got := rec.Metrics().Counter("other/ch1/acts").Value(); got != 1 {
+		t.Fatalf("other/ch1/acts = %d, want 1", got)
+	}
+	ev := rec.Events()
+	if len(ev) != 1 || ev[0].PID != trackStride+1 {
+		t.Fatalf("event PID = %+v, want pid %d", ev, trackStride+1)
+	}
+	if got := rec.trackName(ev[0].PID); got != "other ch1" {
+		t.Fatalf("trackName = %q, want %q", got, "other ch1")
+	}
+	if got := p.ForChannel(0); got != p {
+		t.Fatal("ForChannel(0) must return the base probe")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForChannel out of range did not panic")
+		}
+	}()
+	p.ForChannel(trackStride)
+}
+
+func TestRecorderDropsAfterMaxEvents(t *testing.T) {
+	rec := NewRecorder(Options{Events: true, MaxEvents: 2})
+	p := rec.NewTrack("run")
+	for i := 0; i < 5; i++ {
+		p.Emit(Event{At: timing.Tick(i), Kind: KindACT})
+	}
+	if got := rec.EventCount(); got != 2 {
+		t.Fatalf("EventCount = %d, want 2", got)
+	}
+	if got := rec.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+}
+
+func TestMetricsDumpJSONAndCSV(t *testing.T) {
+	rec := NewRecorder(Options{Metrics: true, SampleInterval: timing.Microsecond})
+	p := rec.NewTrack("run")
+	p.Counter("acts").Add(12)
+	p.Gauge("depth").Set(4)
+	p.Histogram("lat").Observe(100)
+	p.Histogram("lat").Observe(200)
+	p.Series("rfm").Add(0, 1)
+	p.Series("rfm").Add(2*timing.Microsecond, 3)
+
+	var js strings.Builder
+	if err := rec.Metrics().WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"sample_interval_ps": 1000000`,
+		`"run/acts": 12`,
+		`"run/depth": 4`,
+		`"count": 2`,
+		`"mean": 150`,
+		`"run/rfm": [`,
+	} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON dump missing %q:\n%s", want, js.String())
+		}
+	}
+
+	var csv strings.Builder
+	if err := rec.Metrics().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"kind,name,field,value\n",
+		"counter,run/acts,value,12\n",
+		"gauge,run/depth,value,4\n",
+		"histogram,run/lat,count,2\n",
+		"histogram,run/lat,mean,150.000\n",
+		"series,run/rfm,t0,1\n",
+		"series,run/rfm,t2,3\n",
+	} {
+		if !strings.Contains(csv.String(), want) {
+			t.Errorf("CSV dump missing %q:\n%s", want, csv.String())
+		}
+	}
+
+	// Nil registry: valid empty documents.
+	var nilM *Metrics
+	js.Reset()
+	if err := nilM.WriteJSON(&js); err != nil || js.String() != "{}\n" {
+		t.Fatalf("nil WriteJSON = %q, %v", js.String(), err)
+	}
+	csv.Reset()
+	if err := nilM.WriteCSV(&csv); err != nil || csv.String() != "kind,name,field,value\n" {
+		t.Fatalf("nil WriteCSV = %q, %v", csv.String(), err)
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	var out strings.Builder
+	n := int64(0)
+	h := NewHeartbeat(&out, "sim", 100*timing.Microsecond, clock).
+		WithEvents(func() int64 { return n })
+
+	h.Tick(10 * timing.Microsecond) // first tick always prints
+	if !strings.Contains(out.String(), "10.0%") {
+		t.Fatalf("first tick did not print percentage: %q", out.String())
+	}
+
+	before := out.Len()
+	h.Tick(20 * timing.Microsecond) // same wall instant: rate-limited
+	if out.Len() != before {
+		t.Fatal("heartbeat printed before minGap elapsed")
+	}
+
+	now = now.Add(time.Second)
+	n = 500
+	h.Tick(60 * timing.Microsecond)
+	if !strings.Contains(out.String(), "60.0%") || !strings.Contains(out.String(), "500 events/s") {
+		t.Fatalf("second tick output: %q", out.String())
+	}
+	// 50 sim-us advanced over 1 wall second.
+	if !strings.Contains(out.String(), "50.0 sim-us/s") {
+		t.Fatalf("sim rate missing: %q", out.String())
+	}
+
+	h.Done()
+	if !strings.Contains(out.String(), "100.0%") || !strings.HasSuffix(out.String(), "\n") {
+		t.Fatalf("Done output: %q", out.String())
+	}
+
+	// Nil receiver and never-printed Done are silent.
+	var nilH *Heartbeat
+	nilH.Tick(0)
+	nilH.Done()
+	var quiet strings.Builder
+	NewHeartbeat(&quiet, "x", 0, clock).Done()
+	if quiet.Len() != 0 {
+		t.Fatalf("Done printed without any Tick: %q", quiet.String())
+	}
+}
+
+func TestKindStringAndCategory(t *testing.T) {
+	cases := []struct {
+		k   Kind
+		s   string
+		cat string
+	}{
+		{KindACT, "ACT", "cmd"},
+		{KindRFM, "RFM", "cmd"},
+		{KindShuffle, "shuffle", "mitigation"},
+		{KindSwap, "swap", "mitigation"},
+		{KindThrottle, "throttle", "mitigation"},
+		{KindFlip, "flip", "fault"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.s {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.s)
+		}
+		if got := c.k.Category(); got != c.cat {
+			t.Errorf("Kind(%d).Category() = %q, want %q", c.k, got, c.cat)
+		}
+	}
+	if got := Kind(250).String(); got != "Kind(250)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shadow/internal/dram"
+	"shadow/internal/obs"
 	"shadow/internal/rng"
 	"shadow/internal/timing"
 )
@@ -29,6 +30,9 @@ type Options struct {
 	// true RNG. Zero disables periodic reseeding. Only effective when the
 	// default CSPRNG is used (a custom Source is the caller's business).
 	ReseedEvery int64
+	// Probe, when set, records shuffle and incremental-refresh events plus a
+	// shuffle-rate series (shadowscope).
+	Probe *obs.Probe
 }
 
 // Stats counts the controller's mitigation work.
@@ -58,6 +62,9 @@ type Controller struct {
 	csprng *rng.CSPRNG // non-nil when the default source is in use
 	banks  map[int]*bankState
 
+	probe         *obs.Probe
+	shuffleSeries *obs.Series
+
 	Stats Stats
 }
 
@@ -75,7 +82,15 @@ func New(opt Options) *Controller {
 		c.csprng = rng.NewCSPRNG(opt.Seed)
 		c.src = c.csprng
 	}
+	c.SetProbe(opt.Probe)
 	return c
+}
+
+// SetProbe (re)attaches shadowscope instrumentation; sim calls it for
+// mitigators built before the probe existed. A nil probe detaches.
+func (c *Controller) SetProbe(p *obs.Probe) {
+	c.probe = p
+	c.shuffleSeries = p.Series("shadow/shuffles")
 }
 
 // Name implements dram.Mitigator.
@@ -184,6 +199,11 @@ func (c *Controller) OnRFM(b *dram.Bank, now timing.Tick) {
 		b.InternalActivate(sub, ptr)
 		t.SetIncrPtr(data, (ptr+1)%g.DARowsPerSubarray())
 		c.Stats.IncRefreshes++
+		if c.probe != nil {
+			c.probe.Emit(obs.Event{
+				At: now, Kind: obs.KindIncRefresh, Bank: b.ID(), Row: ptr, Aux: int64(sub),
+			})
+		}
 	}
 
 	// (3) Row-shuffle: two row-copies through Row_empt.
@@ -205,6 +225,12 @@ func (c *Controller) OnRFM(b *dram.Bank, now timing.Tick) {
 		t.SetSlot(data, t.EmptySlot(), daAggr)
 		c.Stats.Shuffles++
 		c.Stats.RemapWrites++
+		if c.probe != nil {
+			c.probe.Emit(obs.Event{
+				At: now, Kind: obs.KindShuffle, Bank: b.ID(), Row: aggr, Aux: int64(sub),
+			})
+			c.shuffleSeries.Add(now, 1)
+		}
 
 		// Section VIII hardening: periodically rekey the PRINCE stream.
 		if c.opt.ReseedEvery > 0 && c.csprng != nil && c.Stats.Shuffles%c.opt.ReseedEvery == 0 {

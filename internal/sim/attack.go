@@ -7,6 +7,7 @@ import (
 	"shadow/internal/hammer"
 	"shadow/internal/memctrl"
 	"shadow/internal/mitigate"
+	"shadow/internal/obs"
 	"shadow/internal/timing"
 	"shadow/internal/trace"
 )
@@ -27,6 +28,9 @@ type AttackConfig struct {
 	Duration timing.Tick
 	// StopOnFlip ends the run at the first bit flip.
 	StopOnFlip bool
+	// Probe, when set, threads shadowscope instrumentation through the
+	// controller, device, and mitigation schemes.
+	Probe *obs.Probe
 }
 
 // AttackResult reports the outcome.
@@ -53,18 +57,27 @@ func RunAttack(cfg AttackConfig, pat trace.Pattern) (*AttackResult, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = cfg.Params.REFW
 	}
+	if cfg.Probe != nil {
+		if ps, ok := cfg.DeviceMit.(probeSetter); ok {
+			ps.SetProbe(cfg.Probe)
+		}
+		if ps, ok := cfg.MCSide.(probeSetter); ok {
+			ps.SetProbe(cfg.Probe)
+		}
+	}
 	dev, err := dram.NewDevice(dram.Config{
 		Geometry:  cfg.Geometry,
 		Params:    cfg.Params,
 		Hammer:    cfg.Hammer,
 		Mitigator: cfg.DeviceMit,
+		Probe:     cfg.Probe,
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	var cur *memctrl.Request
-	mc := memctrl.New(dev, memctrl.Options{MCSide: cfg.MCSide, ClosedPage: true})
+	mc := memctrl.New(dev, memctrl.Options{MCSide: cfg.MCSide, ClosedPage: true, Probe: cfg.Probe})
 
 	res := &AttackResult{Device: dev}
 	now := timing.Tick(0)

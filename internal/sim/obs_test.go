@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"shadow/internal/dram"
+	"shadow/internal/hammer"
+	"shadow/internal/obs"
+	"shadow/internal/shadow"
+	"shadow/internal/timing"
+	"shadow/internal/trace"
+)
+
+// TestObservationDoesNotPerturbStats is the shadowscope counterpart of
+// TestRunDeterministicAcrossRuns: attaching probes must never change what the
+// simulator computes. The same seeded config runs three ways — probes off,
+// metrics only, and full event tracing — and every reported statistic must be
+// bit-identical across all three. A divergence means an instrument leaked
+// into simulation state (e.g. an Observe with a side effect, or probe-gated
+// control flow).
+func TestObservationDoesNotPerturbStats(t *testing.T) {
+	run := func(probe *obs.Probe) *Result {
+		g := smallGeo()
+		profiles := trace.MixHigh(2)
+		for i := range profiles {
+			profiles[i].WorkingSetRows = 1 << 10
+		}
+		res, err := Run(Config{
+			Params:    shadowParams(64),
+			Geometry:  g,
+			Hammer:    hammer.Config{HCnt: 4096, BlastRadius: 3},
+			DeviceMit: shadow.New(shadow.Options{Seed: 99}),
+			Workload:  trace.Generators(profiles, g, 99),
+			Duration:  80 * timing.Microsecond,
+			Probe:     probe,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	type statsView struct {
+		Duration timing.Tick
+		Insts    []int64
+		IPC      []float64
+		MC       any
+		Dev      dram.BankStats
+		Flips    int
+		Records  []dram.FlipRecord
+		Scrub    dram.ScrubReport
+	}
+	view := func(r *Result) statsView {
+		return statsView{
+			Duration: r.Duration,
+			Insts:    r.Insts,
+			IPC:      r.IPC,
+			MC:       r.MC,
+			Dev:      r.Dev,
+			Flips:    r.Flips,
+			Records:  r.Device.Flips(),
+			Scrub:    r.Device.Scrub(),
+		}
+	}
+
+	bare := view(run(nil))
+
+	metRec := obs.NewRecorder(obs.Options{Metrics: true})
+	metrics := view(run(metRec.NewTrack("m")))
+
+	fullRec := obs.NewRecorder(obs.Options{Metrics: true, Events: true})
+	full := view(run(fullRec.NewTrack("f")))
+
+	if !reflect.DeepEqual(bare, metrics) {
+		t.Errorf("metrics-only run diverged from unobserved run:\n bare: %+v\n metrics: %+v", bare, metrics)
+	}
+	if !reflect.DeepEqual(bare, full) {
+		t.Errorf("fully traced run diverged from unobserved run:\n bare: %+v\n traced: %+v", bare, full)
+	}
+
+	// The observed runs must actually have observed something, or the
+	// equalities above are vacuous.
+	if h := metRec.Metrics().LookupHistogram("m/mc/read_latency_ticks"); h.Count() == 0 {
+		t.Error("metrics run recorded no read latencies")
+	}
+	kinds := map[obs.Kind]int{}
+	for _, e := range fullRec.Events() {
+		kinds[e.Kind]++
+	}
+	for _, k := range []obs.Kind{obs.KindACT, obs.KindRFM, obs.KindShuffle} {
+		if kinds[k] == 0 {
+			t.Errorf("traced run captured no %s events (got %v)", k, kinds)
+		}
+	}
+
+	// And the capture must render as a Chrome trace naming those events.
+	var b strings.Builder
+	if err := fullRec.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"ACT"`, `"name":"RFM"`, `"name":"shuffle"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Chrome trace missing %s", want)
+		}
+	}
+}

@@ -21,9 +21,16 @@ import (
 	"shadow/internal/memctrl"
 	"shadow/internal/memsys"
 	"shadow/internal/mitigate"
+	"shadow/internal/obs"
 	"shadow/internal/timing"
 	"shadow/internal/trace"
 )
+
+// probeSetter is implemented by mitigation schemes that accept shadowscope
+// instrumentation after construction (shadow.Controller, BlockHammer).
+type probeSetter interface {
+	SetProbe(*obs.Probe)
+}
 
 // Config describes one simulation run.
 type Config struct {
@@ -68,6 +75,16 @@ type Config struct {
 	// controller issues (protocol validation; see package cmdtrace). The
 	// channel index is passed alongside the command.
 	OnCommand func(ch int, cmd memctrl.Cmd)
+	// Probe, when set, threads shadowscope instrumentation through the
+	// memory controllers, devices, and mitigation schemes; channel ch
+	// records on the probe's ForChannel(ch). Nil disables all observation.
+	Probe *obs.Probe
+	// Progress, when set, is called with the current simulated time roughly
+	// every ProgressEvery ticks (observation only; drives the CLI
+	// heartbeat). It must not mutate simulation state.
+	Progress func(now timing.Tick)
+	// ProgressEvery is the Progress callback period (default Duration/100).
+	ProgressEvery timing.Tick
 }
 
 // Result summarizes a run.
@@ -161,11 +178,21 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.MCSideFor != nil {
 			mcside = cfg.MCSideFor(ch)
 		}
+		chProbe := cfg.Probe.ForChannel(ch)
+		if chProbe != nil {
+			if ps, ok := mit.(probeSetter); ok {
+				ps.SetProbe(chProbe)
+			}
+			if ps, ok := mcside.(probeSetter); ok {
+				ps.SetProbe(chProbe)
+			}
+		}
 		dev, err := dram.NewDevice(dram.Config{
 			Geometry:  cfg.Geometry,
 			Params:    cfg.Params,
 			Hammer:    cfg.Hammer,
 			Mitigator: mit,
+			Probe:     chProbe,
 		})
 		if err != nil {
 			return nil, err
@@ -181,12 +208,23 @@ func Run(cfg Config) (*Result, error) {
 			RFMFilter:  cfg.RFMFilter,
 			OnComplete: onComplete,
 			OnCommand:  onCmd,
+			Probe:      chProbe,
 		})
 	}
 	mc, err := memsys.New(ctls)
 	if err != nil {
 		return nil, err
 	}
+
+	instSeries := cfg.Probe.Series("sim/insts")
+	progEvery := cfg.ProgressEvery
+	if progEvery <= 0 {
+		progEvery = cfg.Duration / 100
+	}
+	if progEvery <= 0 {
+		progEvery = 1
+	}
+	nextProg := progEvery
 
 	now := timing.Tick(0)
 	var warmInsts []int64
@@ -241,6 +279,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 				c.outstanding++
 				c.fetch(cfg.InstPerNS, now)
+				instSeries.Add(now, float64(c.pending.Gap))
 			}
 		}
 
@@ -269,6 +308,10 @@ func Run(cfg Config) (*Result, error) {
 			next = now + cfg.Params.TCK
 		}
 		now = next
+		if cfg.Progress != nil && now >= nextProg {
+			cfg.Progress(now)
+			nextProg = now + progEvery
+		}
 	}
 
 	measured := cfg.Duration - cfg.Warmup
