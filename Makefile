@@ -18,11 +18,13 @@ vet:
 fmt:
 	gofmt -w cmd internal examples bench_test.go
 
-# One pass over every benchmark as a smoke test. For real measurements run
-# with -count=10 and compare with benchstat (see README "Observability &
-# profiling").
+# One pass over every benchmark as a smoke test, plus a machine-readable
+# report (BENCH_pr3.json): shadowbench echoes the benchmark output through
+# and appends headline per-scheme simulation stats with the shadowtap blame
+# split. For real measurements run with -count=10 and compare with benchstat
+# (see README "Observability & profiling").
 bench:
-	go test -bench . -benchtime 1x -run '^$$' ./...
+	go test -bench . -benchtime 1x -run '^$$' ./... | go run ./cmd/shadowbench -o BENCH_pr3.json
 
 verify:
 	./scripts/check.sh

@@ -1,0 +1,190 @@
+// Command shadowbench turns a `go test -bench` run into a machine-readable
+// benchmark report: it reads the benchmark output on stdin (echoing it
+// through to stdout unchanged), parses every benchmark line, runs a short
+// headline simulation per mitigation scheme with shadowtap span tracking,
+// and writes everything as one JSON document.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | shadowbench -o BENCH_pr3.json
+//
+// The report carries no timestamps or host identifiers, so reruns on
+// unchanged code produce comparable documents.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"shadow/internal/exp"
+	"shadow/internal/obs/span"
+	"shadow/internal/timing"
+	"shadow/internal/trace"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimShadow-8   1   51404917 ns/op   1234 acts/op
+//
+// The -8 GOMAXPROCS suffix is stripped; extra "value unit" metric pairs
+// after ns/op are captured verbatim.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// metricPair matches one custom benchmark metric ("1234 acts/op").
+var metricPair = regexp.MustCompile(`([\d.]+) (\S+)`)
+
+type benchResult struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type simResult struct {
+	Scheme        string           `json:"scheme"`
+	Speedup       float64          `json:"speedup"`
+	IPC           float64          `json:"ipc_total"`
+	Acts          int64            `json:"acts"`
+	RFMs          int64            `json:"rfms"`
+	RowHitPct     float64          `json:"row_hit_pct"`
+	AvgReadLatPS  int64            `json:"avg_read_latency_ps"`
+	Requests      int64            `json:"requests"`
+	StallPS       map[string]int64 `json:"stall_ps,omitempty"`
+	Conserved     bool             `json:"conserved"`
+	DominantStall string           `json:"dominant_stall,omitempty"`
+}
+
+type benchReport struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+	Sims       []simResult   `json:"sims"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr3.json", "output JSON path")
+	skipSims := flag.Bool("no-sims", false, "skip the headline scheme simulations")
+	flag.Parse()
+
+	benches, err := parseBenchStream()
+	exitOn(err)
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "shadowbench: no benchmark lines parsed from stdin")
+		os.Exit(1)
+	}
+
+	rep := benchReport{Benchmarks: benches, Sims: []simResult{}}
+	if !*skipSims {
+		rep.Sims, err = headlineSims()
+		exitOn(err)
+	}
+
+	f, err := os.Create(*out)
+	exitOn(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	exitOn(enc.Encode(rep))
+	exitOn(f.Close())
+	fmt.Fprintf(os.Stderr, "shadowbench: %d benchmarks, %d scheme sims -> %s\n",
+		len(rep.Benchmarks), len(rep.Sims), *out)
+}
+
+// parseBenchStream reads stdin, echoes each line to stdout, and collects the
+// benchmark results.
+func parseBenchStream() ([]benchResult, error) {
+	var out []benchResult
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		nsPerOp, _ := strconv.ParseFloat(m[3], 64)
+		b := benchResult{Name: m[1], Iters: iters, NsPerOp: nsPerOp}
+		for _, pair := range metricPair.FindAllStringSubmatch(strings.TrimSpace(m[4]), -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[pair[2]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// headlineSchemes are the per-scheme headline simulation points.
+var headlineSchemes = []exp.Scheme{
+	exp.Baseline, exp.Shadow, exp.PARFM, exp.MithrilPerf, exp.BlockHammer, exp.RRS,
+}
+
+// headlineSims runs one short span-tracked simulation per headline scheme
+// and extracts the stats a regression dashboard wants: speedup, IPC, command
+// counts, and the shadowtap blame split.
+func headlineSims() ([]simResult, error) {
+	out := make([]simResult, 0, len(headlineSchemes))
+	for _, scheme := range headlineSchemes {
+		var col *span.Collector
+		o := exp.RunOpts{
+			Duration:  80 * timing.Microsecond,
+			Cores:     2,
+			Seed:      1,
+			Subarrays: 8,
+			SpansFor:  func(string) *span.Collector { col = span.NewCollector(0); return col },
+		}
+		pt := exp.Point{Scheme: scheme, HCnt: 4096, Blast: 3, Grade: timing.DDR4_2666, Seed: 1}
+		speedup, res, err := exp.RunPoint(pt, trace.MixHigh(o.Cores), o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", scheme, err)
+		}
+		agg := col.Aggregate()
+		sr := simResult{
+			Scheme:       string(scheme),
+			Speedup:      speedup,
+			IPC:          res.TotalIPC(),
+			Acts:         res.MC.Acts,
+			RFMs:         res.MC.RFMs,
+			RowHitPct:    res.MC.RowHitRate() * 100,
+			AvgReadLatPS: int64(res.MC.AvgReadLatency()),
+			Requests:     agg.Spans,
+			Conserved:    agg.Conserved(),
+		}
+		for c := span.Cause(0); c < span.NumCauses; c++ {
+			if agg.Stall[c] > 0 {
+				if sr.StallPS == nil {
+					sr.StallPS = map[string]int64{}
+				}
+				sr.StallPS[c.String()] = int64(agg.Stall[c])
+			}
+		}
+		if agg.Spans > 0 {
+			best, bestV := span.CauseService, timing.Tick(0)
+			for c := span.Cause(0); c < span.NumCauses; c++ {
+				if agg.Stall[c] > bestV {
+					best, bestV = c, agg.Stall[c]
+				}
+			}
+			sr.DominantStall = best.String()
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shadowbench:", err)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,6 +26,8 @@ import (
 
 	"shadow/internal/exp"
 	"shadow/internal/obs"
+	"shadow/internal/obs/span"
+	"shadow/internal/report"
 	"shadow/internal/timing"
 )
 
@@ -39,6 +42,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON covering every scheme run (forces sequential points)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics dump (.csv suffix selects CSV, else JSON; forces sequential points)")
 	progress := flag.Bool("progress", false, "print per-experiment progress lines to stderr")
+	blame := flag.Bool("blame", false, "print a shadowtap stall-blame table covering every scheme run (forces sequential points)")
+	inspect := flag.String("inspect", "", "serve a live run inspector on this address (forces sequential points)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
@@ -75,6 +80,48 @@ func main() {
 			Events:  *traceOut != "",
 		})
 		o.ProbeFor = rec.NewTrack
+	}
+
+	// Span tracking: one collector per scheme run, accumulated in label
+	// order. SpansFor/Progress force Workers=1, so spanRuns and the
+	// inspector sources are only touched from this goroutine.
+	type spanRun struct {
+		label string
+		col   *span.Collector
+	}
+	var spanRuns []spanRun
+	if *blame || *inspect != "" {
+		o.SpansFor = func(label string) *span.Collector {
+			col := span.NewCollector(0)
+			spanRuns = append(spanRuns, spanRun{label: label, col: col})
+			return col
+		}
+	}
+	blameRows := func() []report.BlameRow {
+		rows := make([]report.BlameRow, 0, len(spanRuns))
+		for _, r := range spanRuns {
+			rows = append(rows, report.BlameRow{Label: r.label, Agg: r.col.Aggregate()})
+		}
+		return rows
+	}
+	var ins *obs.Inspector
+	if *inspect != "" {
+		ins = obs.NewInspector(time.Now)
+		src := obs.InspectorSources{
+			Blame: func() []byte { return report.BlameJSON(blameRows()) },
+		}
+		if rec != nil {
+			src.Events = rec.EventCount
+		}
+		ins.SetSources(src)
+		srv := &http.Server{Addr: *inspect, Handler: ins.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "inspector: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "inspector: serving on %s\n", *inspect)
+		o.Progress = ins.Observe
 	}
 
 	type result struct {
@@ -149,6 +196,11 @@ func main() {
 		}
 	}
 
+	ins.Done()
+	if *blame {
+		fmt.Println()
+		fmt.Print(report.BlameTable("stall blame by scheme run (percent of resident time per cause)", blameRows()))
+	}
 	if rec != nil {
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -172,6 +224,10 @@ func main() {
 			exitOn(f.Close())
 			fmt.Fprintf(os.Stderr, "metrics: %s\n", *metricsOut)
 		}
+	}
+	if *inspect != "" {
+		fmt.Fprintf(os.Stderr, "inspector: still serving on %s (ctrl-c to exit)\n", *inspect)
+		select {}
 	}
 }
 

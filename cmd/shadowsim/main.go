@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,6 +26,7 @@ import (
 	"shadow/internal/hammer"
 	"shadow/internal/memctrl"
 	"shadow/internal/obs"
+	"shadow/internal/obs/span"
 	"shadow/internal/report"
 	"shadow/internal/sim"
 	"shadow/internal/timing"
@@ -51,6 +53,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics dump (.csv suffix selects CSV, else JSON)")
 	timeline := flag.Bool("timeline", false, "print time-series strip charts after the run")
 	progress := flag.Bool("progress", false, "print a stderr progress heartbeat")
+	blame := flag.Bool("blame", false, "print the shadowtap stall-blame breakdown after the run")
+	inspect := flag.String("inspect", "", "serve a live run inspector on this address (e.g. :8080)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
@@ -142,6 +146,25 @@ func main() {
 		}
 		progressFn = hb.Tick
 	}
+
+	var spans *span.Collector
+	if *blame || *inspect != "" {
+		spans = span.NewCollector(0)
+	}
+	var ins *obs.Inspector
+	if *inspect != "" {
+		label := *scheme + "/" + *workload
+		ins = startInspector(*inspect, label, rec, spans)
+		tick := progressFn
+		total := o.Duration
+		progressFn = func(now timing.Tick) {
+			if tick != nil {
+				tick(now)
+			}
+			ins.Observe(label, now, total)
+		}
+	}
+
 	res, err := sim.Run(sim.Config{
 		Params: p, Geometry: geo, DeviceMit: dm, MCSide: mc,
 		Hammer:    hammer.Config{HCnt: *hcnt, BlastRadius: *blast},
@@ -149,9 +172,11 @@ func main() {
 		Duration:  o.Duration,
 		OnCommand: onCmd,
 		Probe:     probe,
+		Spans:     spans,
 		Progress:  progressFn,
 	})
 	hb.Done()
+	ins.Done()
 	exitOn(err)
 
 	fmt.Printf("scheme=%s workload=%s grade=%v hcnt=%d blast=%d duration=%v\n",
@@ -177,10 +202,56 @@ func main() {
 		}
 		fmt.Printf("protocol: %d commands verified, 0 violations\n", checker.Commands())
 	}
+	if *blame {
+		agg := spans.Aggregate()
+		label := *scheme + "/" + *workload
+		fmt.Println()
+		fmt.Print(report.BlameTable("stall blame (percent of resident time per cause)",
+			[]report.BlameRow{{Label: label, Agg: agg}}))
+		fmt.Println()
+		fmt.Print(report.CriticalPath(label, agg))
+	}
 	writeObs(rec, *traceOut, *metricsOut)
 	if *timeline {
 		printTimeline(rec, o.Duration)
 	}
+	if *inspect != "" {
+		fmt.Printf("inspector: still serving on %s (ctrl-c to exit)\n", *inspect)
+		select {}
+	}
+}
+
+// startInspector wires an obs.Inspector to the recorder and span collector
+// and serves it in the background. Sources run only on the simulation
+// goroutine (inside Observe); handlers serve cached snapshots.
+func startInspector(addr, label string, rec *obs.Recorder, spans *span.Collector) *obs.Inspector {
+	ins := obs.NewInspector(time.Now)
+	src := obs.InspectorSources{
+		Blame: func() []byte {
+			return report.BlameJSON([]report.BlameRow{{Label: label, Agg: spans.Aggregate()}})
+		},
+	}
+	if rec != nil {
+		src.Events = rec.EventCount
+		if m := rec.Metrics(); m != nil {
+			src.Metrics = func() []byte {
+				var b strings.Builder
+				if err := m.WriteJSON(&b); err != nil {
+					return nil
+				}
+				return []byte(b.String())
+			}
+		}
+	}
+	ins.SetSources(src)
+	srv := &http.Server{Addr: addr, Handler: ins.Handler()}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "inspector: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "inspector: serving on %s\n", addr)
+	return ins
 }
 
 // writeObs dumps the recorder's trace and metrics to the requested files.

@@ -23,9 +23,14 @@ var restrictedPkgs = map[string]bool{
 	"shadow/internal/exp":      true,
 	// The observability layer records from inside the simulation loop, so it
 	// is held to the same standard: instruments are keyed to simulated ticks
-	// and its one wall-clock consumer (the progress heartbeat) takes the
-	// clock as an injected func from the cmd layer.
+	// and its wall-clock consumers (the progress heartbeat and the live
+	// inspector) take the clock as an injected func from the cmd layer.
 	"shadow/internal/obs": true,
+	// The span tracker stamps request milestones and attributes stall causes
+	// on the memory controller's critical path; a wall-clock read or an
+	// order-dependent fold there breaks the bit-identical-with-probes
+	// guarantee and the stall-conservation invariant.
+	"shadow/internal/obs/span": true,
 }
 
 // wallClockFuncs are time-package functions that read the wall clock.
@@ -39,7 +44,7 @@ var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "flag wall-clock reads, math/rand, and order-sensitive map iteration " +
-		"in the simulation packages (internal/{sim,dram,memctrl,shadow,mitigate,trace,exp,obs})",
+		"in the simulation packages (internal/{sim,dram,memctrl,shadow,mitigate,trace,exp,obs,obs/span})",
 	Run: runDeterminism,
 }
 

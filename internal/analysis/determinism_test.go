@@ -27,6 +27,15 @@ func TestDeterminismCoversObs(t *testing.T) {
 	checkFixture(t, Determinism, loadFixture(t, "obsprobe", "shadow/internal/obs"))
 }
 
+// TestDeterminismCoversSpanTracker checks the span tracker is policed like
+// any simulation package: the spantrack fixture seeds span-shaped violations
+// (wall-clock milestone stamps, wall-time residency, rand lane assignment,
+// order-dependent stall folds) and sanctioned patterns (tick milestones,
+// array-indexed cause sums, first-fit lanes, keyed map writes).
+func TestDeterminismCoversSpanTracker(t *testing.T) {
+	checkFixture(t, Determinism, loadFixture(t, "spantrack", "shadow/internal/obs/span"))
+}
+
 func TestDeterminismEveryRestrictedPackage(t *testing.T) {
 	for path := range restrictedPkgs {
 		pkg := loadFixture(t, "determinism", path)

@@ -1,0 +1,50 @@
+// Package spantrack is a shadowvet test fixture for the request-lifecycle
+// span tracker. The test harness analyzes it under the import path
+// shadow/internal/obs/span, so every span-shaped antipattern seeded below
+// must be flagged: span timestamps, stall attribution, and lane assignment
+// all run inside the simulation loop and must never observe wall time,
+// unseeded entropy, or map iteration order.
+package spantrack
+
+import (
+	"math/rand" // want:determinism
+	"time"
+)
+
+// Tick mirrors timing.Tick (picoseconds of simulated time) so the fixture
+// stays stdlib-only.
+type Tick int64
+
+type badSpan struct {
+	enqueue Tick
+	cas     Tick
+}
+
+// Stamping a span milestone with the wall clock instead of the simulated
+// tick makes every blame report differ run to run.
+func (sp *badSpan) noteCAS() {
+	sp.cas = Tick(time.Now().UnixNano()) // want:determinism
+}
+
+// Measuring span residency in wall time couples the stall attribution to
+// host load rather than DRAM timing.
+func (sp *badSpan) residentWall(start time.Time) float64 {
+	return time.Since(start).Seconds() // want:determinism
+}
+
+// Lane assignment must be first-fit by enqueue tick; drawing a lane from the
+// global math/rand source reshuffles the Perfetto rows every run.
+func badLane(lanes int) int {
+	return rand.Intn(lanes) // want:determinism
+}
+
+// Summing per-cause stall out of a map makes the conservation check's
+// floating traversal order visible; causes live in a fixed-size array
+// indexed by the Cause enum for exactly this reason.
+func badStallTotal(stall map[string]Tick) Tick {
+	var total Tick
+	for _, v := range stall {
+		total += v // want:determinism
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+package spantrack
+
+type goodSpan struct {
+	enqueue Tick
+	cas     Tick
+	stall   [4]Tick
+}
+
+// Milestones come from the simulated clock the controller passes in: pure
+// tick arithmetic, reproducible bit for bit.
+func (sp *goodSpan) noteCAS(now Tick) {
+	if sp.cas == 0 {
+		sp.cas = now
+	}
+}
+
+// Per-cause stall lives in a fixed-size array indexed by the cause enum, so
+// the conservation sum visits causes in declaration order every run.
+func (sp *goodSpan) stallTotal() Tick {
+	var total Tick
+	for _, v := range sp.stall {
+		total += v
+	}
+	return total
+}
+
+// First-fit lane assignment keyed by enqueue tick is the sanctioned pattern:
+// the lane a request lands on is a pure function of simulated time.
+func goodLane(laneFree []Tick, enqueue Tick) int {
+	for i, free := range laneFree {
+		if free <= enqueue {
+			return i
+		}
+	}
+	return 0
+}
+
+// Keyed writes are order-independent: folding spans into per-bank buckets is
+// deterministic regardless of map iteration order.
+func bucketByBank(spans map[int]goodSpan) map[int]Tick {
+	out := make(map[int]Tick, len(spans))
+	for bank, sp := range spans {
+		out[bank] = sp.stallTotal()
+	}
+	return out
+}

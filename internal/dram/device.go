@@ -5,6 +5,7 @@ import (
 
 	"shadow/internal/hammer"
 	"shadow/internal/obs"
+	"shadow/internal/obs/span"
 	"shadow/internal/timing"
 )
 
@@ -67,6 +68,13 @@ type Device struct {
 	flipSeries *obs.Series
 	cmdAt      timing.Tick
 
+	// shadowtap span tracker (nil-inert): the device opens pre-attributed
+	// busy windows when REF/REFsb/RFM commands start their busy time, so the
+	// controller can blame ACT waits on the right cause. rfmCause is what the
+	// mitigator claims for the RFM windows it fills.
+	spans    *span.Tracker
+	rfmCause span.Cause
+
 	// Stats aggregated over banks plus rank-level commands.
 	Refs int64
 }
@@ -80,6 +88,9 @@ type Config struct {
 	Mitigator Mitigator
 	// Probe, when set, records bit-flip events and a flip-rate series.
 	Probe *obs.Probe
+	// Spans, when set, attaches shadowtap busy-window attribution for
+	// REF/REFsb/RFM commands.
+	Spans *span.Tracker
 }
 
 // NewDevice builds a rank.
@@ -103,8 +114,13 @@ func NewDevice(cfg Config) (*Device, error) {
 		banks: make([]*Bank, cfg.Geometry.Banks),
 		mit:   mit,
 		probe: cfg.Probe,
+		spans: cfg.Spans,
 	}
 	d.flipSeries = cfg.Probe.Series("dram/flips")
+	d.rfmCause = span.CauseRFM
+	if a, ok := mit.(span.Attributor); ok {
+		d.rfmCause = a.RFMBlame()
+	}
 	// Auto-refresh must cover every DA row once per tREFW: rows per REF =
 	// ceil(rows / (REFW/REFI)).
 	slots := int(cfg.Params.REFW / cfg.Params.REFI)
@@ -215,6 +231,7 @@ func (d *Device) Refresh(now timing.Tick) error {
 		}
 	}
 	d.Refs++
+	d.spans.NoteAllBusy(now, now+d.p.RFC, span.CauseRefresh)
 	return nil
 }
 
@@ -233,6 +250,7 @@ func (d *Device) RefreshBank(bank int, now timing.Tick) error {
 		return err
 	}
 	d.Refs++
+	d.spans.NoteBusy(bank, now, now+d.p.RFCsb, span.CauseRefresh)
 	return nil
 }
 
@@ -259,6 +277,7 @@ func (d *Device) RFM(bank int, now timing.Tick) error {
 	d.cmdAt = now
 	d.mit.OnRFM(b, now)
 	b.setBusy(now + d.p.RFM)
+	d.spans.NoteBusy(bank, now, now+d.p.RFM, d.rfmCause)
 	return nil
 }
 

@@ -43,6 +43,7 @@ import (
 	"shadow/internal/hammer"
 	"shadow/internal/mitigate"
 	"shadow/internal/obs"
+	"shadow/internal/obs/span"
 	"shadow/internal/security"
 	"shadow/internal/shadow"
 	"shadow/internal/sim"
@@ -223,6 +224,15 @@ type RunOpts struct {
 	// unperturbed). Setting it forces Workers=1: a Recorder is not safe for
 	// concurrent use.
 	ProbeFor func(label string) *obs.Probe
+	// SpansFor, when set, supplies a shadowtap span collector for each
+	// scheme run, keyed like ProbeFor. Baseline runs are never span-tracked.
+	// Setting it forces Workers=1 (callers typically aggregate the
+	// collectors from one goroutine).
+	SpansFor func(label string) *span.Collector
+	// Progress, when set, receives per-run progress callbacks: the run's
+	// label, its current simulated time, and its total horizon (drives the
+	// live -inspect endpoint). Setting it forces Workers=1.
+	Progress func(label string, now, total timing.Tick)
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -238,7 +248,7 @@ func (o RunOpts) withDefaults() RunOpts {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	if o.ProbeFor != nil {
+	if o.ProbeFor != nil || o.SpansFor != nil || o.Progress != nil {
 		o.Workers = 1
 	}
 	return o
@@ -268,9 +278,18 @@ func runPoint(pt Point, profiles []trace.Profile, o RunOpts) (float64, *sim.Resu
 	}
 
 	p, dm, mc := pt.Build(geo, o.Duration)
+	label := pointLabel(pt, profiles)
 	var probe *obs.Probe
 	if o.ProbeFor != nil {
-		probe = o.ProbeFor(pointLabel(pt, profiles))
+		probe = o.ProbeFor(label)
+	}
+	var spans *span.Collector
+	if o.SpansFor != nil {
+		spans = o.SpansFor(label)
+	}
+	var progress func(timing.Tick)
+	if o.Progress != nil {
+		progress = func(now timing.Tick) { o.Progress(label, now, total) }
 	}
 	res, err := sim.Run(sim.Config{
 		Params: p, Geometry: geo, DeviceMit: dm, MCSide: mc,
@@ -279,6 +298,8 @@ func runPoint(pt Point, profiles []trace.Profile, o RunOpts) (float64, *sim.Resu
 		Duration: total,
 		Warmup:   o.Warmup,
 		Probe:    probe,
+		Spans:    spans,
+		Progress: progress,
 	})
 	if err != nil {
 		return 0, nil, err

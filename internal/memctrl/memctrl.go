@@ -16,6 +16,7 @@ import (
 	"shadow/internal/dram"
 	"shadow/internal/mitigate"
 	"shadow/internal/obs"
+	"shadow/internal/obs/span"
 	"shadow/internal/timing"
 )
 
@@ -30,6 +31,9 @@ type Request struct {
 	// Done is the completion time: data fully returned for reads, command
 	// accepted for (posted) writes. Zero until completed.
 	Done timing.Tick
+	// Span is the request's shadowtap lifecycle record, opened at Enqueue
+	// when span tracking is on (nil otherwise).
+	Span *span.Span
 }
 
 // Stats aggregates controller activity.
@@ -112,6 +116,10 @@ type Options struct {
 	// stream as trace events plus read-latency / queue-depth / row-locality
 	// histograms and ACT/RFM rate series. Nil costs one check per command.
 	Probe *obs.Probe
+	// Spans, when set, attaches shadowtap request-lifecycle tracing: every
+	// request gets a Span with conservation-exact stall-cause attribution.
+	// Nil costs one check per scheduling decision.
+	Spans *span.Tracker
 }
 
 type bankCtl struct {
@@ -169,6 +177,12 @@ type Controller struct {
 	rfmSeries   *obs.Series
 	blockSeries *obs.Series
 
+	// shadowtap span tracker (nil-inert) and the blame the installed
+	// mitigator claims for RFM windows and RAA-saturation holds (SHADOW
+	// shuffles inside them, TRR-backed schemes refresh).
+	spans    *span.Tracker
+	rfmCause span.Cause
+
 	Stats Stats
 }
 
@@ -209,6 +223,11 @@ func New(dev *dram.Device, opt Options) *Controller {
 	c.actSeries = c.probe.Series("mc/acts")
 	c.rfmSeries = c.probe.Series("mc/rfms")
 	c.blockSeries = c.probe.Series("mc/blocked_ticks")
+	c.spans = opt.Spans
+	c.rfmCause = span.CauseRFM
+	if a, ok := dev.Mitigator().(span.Attributor); ok {
+		c.rfmCause = a.RFMBlame()
+	}
 	return c
 }
 
@@ -230,6 +249,9 @@ func (c *Controller) Enqueue(r *Request) bool {
 	}
 	b.queue = append(b.queue, r)
 	c.depthHist.Observe(int64(len(b.queue)))
+	if c.spans != nil {
+		r.Span = c.spans.Start(r.Core, r.Bank, r.Row, r.Write, r.Arrive)
+	}
 	return true
 }
 
@@ -265,6 +287,10 @@ func (c *Controller) Step(now timing.Tick) timing.Tick {
 		next = minTick(next, c.nextRefreshAt)
 	}
 	if c.refreshDrain {
+		// Every bank's ACT progress is held by the drain; column traffic that
+		// still completes below flips its bank back to service at the same
+		// instant (zero-length segment), keeping attribution exact.
+		c.spans.SetAllCauses(now, span.CauseRefresh)
 		if t, issued := c.tryRefresh(now); issued {
 			return c.afterCmd(now)
 		} else if t != timing.Forever {
@@ -319,6 +345,7 @@ func (c *Controller) tryTRR(now timing.Tick, i int) (timing.Tick, bool) {
 		// Precharge the TRR activation as soon as legal.
 		t := c.dev.Bank(i).NextPREReady()
 		if now < t {
+			c.spans.SetCause(i, now, span.CauseTRR)
 			return t, false
 		}
 		if err := c.dev.Precharge(i, now); err != nil {
@@ -328,6 +355,7 @@ func (c *Controller) tryTRR(now timing.Tick, i int) (timing.Tick, bool) {
 		b.trrOpen = false
 		c.Stats.Pres++
 		c.log(CmdPRE, i, -1, now)
+		c.spans.SetCause(i, now, span.CauseTRR)
 		return now, true
 	}
 	if len(b.trr) == 0 {
@@ -336,6 +364,7 @@ func (c *Controller) tryTRR(now timing.Tick, i int) (timing.Tick, bool) {
 	if b.open {
 		t := c.dev.Bank(i).NextPREReady()
 		if now < t {
+			c.spans.SetCause(i, now, span.CauseTRR)
 			return t, false
 		}
 		if err := c.dev.Precharge(i, now); err != nil {
@@ -344,14 +373,18 @@ func (c *Controller) tryTRR(now timing.Tick, i int) (timing.Tick, bool) {
 		b.open = false
 		c.Stats.Pres++
 		c.log(CmdPRE, i, -1, now)
+		c.spans.SetCause(i, now, span.CauseTRR)
 		return now, true
 	}
 	row := b.trr[0]
-	t := c.actReadyAt(now, i, row)
+	t, _ := c.actReadyAt(now, i, row)
 	if t == timing.Forever {
 		return timing.Forever, false // RAA saturated; RFM first
 	}
 	if now < t {
+		// Pending TRR work owns the bank regardless of which JEDEC spacing
+		// delays its ACT: the queued demand requests wait on the TRR.
+		c.spans.SetCause(i, now, span.CauseTRR)
 		return t, false
 	}
 	if err := c.dev.Activate(i, row, now); err != nil {
@@ -370,6 +403,7 @@ func (c *Controller) tryTRR(now timing.Tick, i int) (timing.Tick, bool) {
 	c.Stats.Acts++
 	c.Stats.TRRs++
 	c.noteACT(now, i)
+	c.spans.SetCause(i, now, span.CauseTRR)
 	return now, true
 }
 
@@ -505,7 +539,9 @@ func (c *Controller) tryDrainColumns(now timing.Tick) timing.Tick {
 			// No hits: PRE handled by tryRefresh next round.
 			continue
 		}
-		t := c.colReadyAt(now, i)
+		// Cause stays CauseRefresh (set by Step's drain block): the drain is
+		// why only column traffic may proceed.
+		t, _ := c.colReadyAt(now, i)
 		if now >= t {
 			c.issueColumn(now, i, req, idx)
 			return now
@@ -540,6 +576,7 @@ func (c *Controller) tryRFM(now timing.Tick, i int) (timing.Tick, bool) {
 	if b.open {
 		ready := c.dev.Bank(i).NextPREReady()
 		if now < ready {
+			c.spans.SetCause(i, now, c.rfmCause)
 			return ready, false
 		}
 		if err := c.dev.Precharge(i, now); err != nil {
@@ -548,10 +585,12 @@ func (c *Controller) tryRFM(now timing.Tick, i int) (timing.Tick, bool) {
 		b.open = false
 		c.Stats.Pres++
 		c.log(CmdPRE, i, -1, now)
+		c.spans.SetCause(i, now, c.rfmCause)
 		return now, true
 	}
 	ready := c.dev.Bank(i).NextACTReady()
 	if now < ready {
+		c.spans.SetCause(i, now, c.rfmCause)
 		return ready, false
 	}
 	if err := c.dev.RFM(i, now); err != nil {
@@ -574,16 +613,29 @@ func (c *Controller) oldestHit(i int) (*Request, int) {
 	return nil, -1
 }
 
-// colReadyAt returns the earliest legal column-command time for bank i.
-func (c *Controller) colReadyAt(now timing.Tick, i int) timing.Tick {
-	t := maxTick(now, c.dev.Bank(i).NextRDReady())
-	t = maxTick(t, c.colGlobalAt)
-	t = maxTick(t, c.colGroupAt[bankGroup(i)])
+// colReadyAt returns the earliest legal column-command time for bank i and
+// the stall cause of the limiting constraint (CauseService when the bank's
+// own tRCD is the limit — the bank is working for the request).
+func (c *Controller) colReadyAt(now timing.Tick, i int) (timing.Tick, span.Cause) {
+	cause := span.CauseService
+	t := now
+	if r := c.dev.Bank(i).NextRDReady(); r > t {
+		t = r // the bank's own tRCD: service, nobody to blame
+	}
+	if c.colGlobalAt > t {
+		t = c.colGlobalAt
+		cause = span.CauseBus
+	}
+	if r := c.colGroupAt[bankGroup(i)]; r > t {
+		t = r
+		cause = span.CauseBus
+	}
 	// Data must find the bus free: RD data occupies [t+AA, t+AA+BL].
 	if c.busFreeAt > t+c.p.AA {
 		t = c.busFreeAt - c.p.AA
+		cause = span.CauseBus
 	}
-	return t
+	return t, cause
 }
 
 // issueColumn sends the RD/WR for req (at queue position idx) on bank i.
@@ -617,24 +669,48 @@ func (c *Controller) issueColumn(now timing.Tick, i int, req *Request, idx int) 
 	b := &c.banks[i]
 	b.colsSinceAct++
 	b.queue = append(b.queue[:idx], b.queue[idx+1:]...)
+	c.spans.Complete(req.Span, now, req.Done)
+	c.spans.SetCause(i, now, span.CauseService)
 	if c.opt.OnComplete != nil {
 		c.opt.OnComplete(req)
 	}
 }
 
 // actReadyAt returns the earliest legal ACT time for physical row physRow of
-// bank i.
-func (c *Controller) actReadyAt(now timing.Tick, i, physRow int) timing.Tick {
-	t := maxTick(now, c.dev.Bank(i).NextACTReady())
-	t = maxTick(t, c.rrdGlobalAt)
-	t = maxTick(t, c.rrdGroupAt[bankGroup(i)])
-	t = maxTick(t, c.actWindow[c.actWindowIdx]+c.p.FAW) // 4 ACTs per tFAW
-	t = maxTick(t, c.mc.ACTAllowedAt(i, physRow, t))
+// bank i and the stall cause of the limiting constraint. The mitigation
+// policy's ACTAllowedAt is consulted exactly once (it may mutate per-query
+// state, e.g. BlockHammer's CBF epoch rotation), so span-tracked runs stay
+// bit-identical to untracked ones.
+func (c *Controller) actReadyAt(now timing.Tick, i, physRow int) (timing.Tick, span.Cause) {
+	cause := span.CauseService
+	t := now
+	if r := c.dev.Bank(i).NextACTReady(); r > t {
+		t = r
+		// The bank may be busy with its own tRP/tRAS recovery (generic
+		// bank-busy) or inside a pre-attributed REF/RFM window.
+		cause = c.spans.BusyCause(i, now, span.CauseBankBusy)
+	}
+	if c.rrdGlobalAt > t {
+		t = c.rrdGlobalAt
+		cause = span.CauseActSpacing
+	}
+	if r := c.rrdGroupAt[bankGroup(i)]; r > t {
+		t = r
+		cause = span.CauseActSpacing
+	}
+	if r := c.actWindow[c.actWindowIdx] + c.p.FAW; r > t { // 4 ACTs per tFAW
+		t = r
+		cause = span.CauseActSpacing
+	}
+	if r := c.mc.ACTAllowedAt(i, physRow, t); r > t {
+		t = r
+		cause = span.CauseThrottle
+	}
 	// Hold ACTs when the RAA counter is at its maximum.
 	if c.p.RAAIMT > 0 && c.banks[i].raa >= c.p.RAAMMT {
-		return timing.Forever // an RFM will drain it first
+		return timing.Forever, c.rfmCause // an RFM will drain it first
 	}
-	return t
+	return t, cause
 }
 
 // tryDemand schedules FR-FCFS work for bank i: column hit first, else PRE on
@@ -675,7 +751,7 @@ func (c *Controller) tryDemand(now timing.Tick, i int) (timing.Tick, bool) {
 			}
 		}
 		if req != nil {
-			t := c.colReadyAt(now, i)
+			t, cause := c.colReadyAt(now, i)
 			if now >= t {
 				if c.opt.ClosedPage {
 					b.actFor = nil
@@ -683,9 +759,11 @@ func (c *Controller) tryDemand(now timing.Tick, i int) (timing.Tick, bool) {
 				c.issueColumn(now, i, req, idx)
 				return now, true
 			}
+			c.spans.SetCause(i, now, cause)
 			return t, false
 		}
-		// Conflict: precharge.
+		// Conflict: precharge. The head request waits on the bank's own
+		// recovery — or on an MC-side TRR cycle still holding the row open.
 		t := c.dev.Bank(i).NextPREReady()
 		if now >= t {
 			if err := c.dev.Precharge(i, now); err != nil {
@@ -694,24 +772,34 @@ func (c *Controller) tryDemand(now timing.Tick, i int) (timing.Tick, bool) {
 			b.open = false
 			c.Stats.Pres++
 			c.log(CmdPRE, i, -1, now)
+			c.spans.SetCause(i, now, span.CauseBankBusy)
 			return now, true
 		}
+		cause := span.CauseBankBusy
+		if b.trrOpen {
+			cause = span.CauseTRR
+		}
+		c.spans.SetCause(i, now, cause)
 		return t, false
 	}
 	// Closed: activate for the oldest request.
 	req := b.queue[0]
 	phys := c.mc.TranslateRow(i, req.Row)
-	t := c.actReadyAt(now, i, phys)
+	t, cause := c.actReadyAt(now, i, phys)
 	if t == timing.Forever {
+		c.spans.SetCause(i, now, cause)
 		return timing.Forever, false
 	}
 	if now < t {
+		c.spans.SetCause(i, now, cause)
 		return t, false
 	}
 	if err := c.dev.Activate(i, phys, now); err != nil {
 		panic(fmt.Sprintf("memctrl: ACT: %v", err))
 	}
 	c.log(CmdACT, i, phys, now)
+	c.spans.SetCause(i, now, span.CauseService)
+	req.Span.NoteACT(now)
 	if b.actSeen {
 		c.localHist.Observe(int64(b.colsSinceAct))
 	}
@@ -768,6 +856,8 @@ func (c *Controller) performSwap(s *mitigate.SwapRequest, now timing.Tick) {
 	c.blockedUntil = maxTick(c.blockedUntil, until)
 	c.Stats.BlockedTime += until - now
 	c.Stats.Swaps++
+	// The swap blocks the whole channel: every queued request waits on it.
+	c.spans.SetAllCauses(now, span.CauseSwap)
 	if c.probe != nil {
 		c.probe.Emit(obs.Event{
 			At: now, Dur: until - now, Kind: obs.KindSwap,

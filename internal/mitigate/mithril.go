@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shadow/internal/dram"
+	"shadow/internal/obs/span"
 	"shadow/internal/timing"
 )
 
@@ -35,6 +36,10 @@ func NewMithril(entries, blast int) *Mithril {
 
 // Name implements dram.Mitigator.
 func (m *Mithril) Name() string { return fmt.Sprintf("mithril-%d", m.entries) }
+
+// RFMBlame implements span.Attributor: Mithril fills RFM windows with
+// tracker-directed TRR, plain refresh-management work.
+func (m *Mithril) RFMBlame() span.Cause { return span.CauseRFM }
 
 // TableEntries returns the per-bank tracker capacity.
 func (m *Mithril) TableEntries() int { return m.entries }

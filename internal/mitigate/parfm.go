@@ -2,6 +2,7 @@ package mitigate
 
 import (
 	"shadow/internal/dram"
+	"shadow/internal/obs/span"
 	"shadow/internal/rng"
 	"shadow/internal/timing"
 )
@@ -51,6 +52,10 @@ func NewPARFM(blast int, seed uint64) *PARFM {
 
 // Name implements dram.Mitigator.
 func (m *PARFM) Name() string { return "parfm" }
+
+// RFMBlame implements span.Attributor: PARFM fills RFM windows with
+// probabilistic TRR, plain refresh-management work.
+func (m *PARFM) RFMBlame() span.Cause { return span.CauseRFM }
 
 // Translate implements dram.Mitigator (identity).
 func (m *PARFM) Translate(b *dram.Bank, paRow int) (int, int) {

@@ -25,6 +25,28 @@ type chromeEvent struct {
 // bank i is tid i+1.
 func tidOf(bank int) int { return bank + 1 }
 
+// eventTID resolves an event's trace thread: an explicit TID (request-span
+// lanes) wins, otherwise the bank-per-thread default.
+func eventTID(e Event) int {
+	if e.TID != 0 {
+		return e.TID
+	}
+	return tidOf(e.Bank)
+}
+
+// threadName names a trace thread for metadata: the rank, a bank, or a
+// request lane.
+func threadName(tid int) string {
+	if tid >= reqTIDBase {
+		core, lane := (tid-reqTIDBase)/ReqLanes, (tid-reqTIDBase)%ReqLanes
+		return "core " + itoa(core) + " lane " + itoa(lane)
+	}
+	if tid > 0 {
+		return "bank " + itoa(tid-1)
+	}
+	return "rank"
+}
+
 // ticksToUS converts picosecond ticks to trace microseconds.
 func ticksToUS(t int64) float64 { return float64(t) / 1e6 }
 
@@ -57,7 +79,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	// Metadata: name every (pid, tid) pair that appears, sorted.
 	pairs := make([]int64, 0, len(r.events))
 	for _, e := range r.events {
-		pairs = append(pairs, int64(e.PID)<<20|int64(tidOf(e.Bank)))
+		pairs = append(pairs, int64(e.PID)<<20|int64(eventTID(e)))
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
 	lastPID := -1
@@ -77,25 +99,25 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				return err
 			}
 		}
-		name := "rank"
-		if tid > 0 {
-			name = "bank " + itoa(tid-1)
-		}
 		if err := enc(&first, chromeEvent{
 			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
-			Args: map[string]any{"name": name},
+			Args: map[string]any{"name": threadName(tid)},
 		}); err != nil {
 			return err
 		}
 	}
 
 	for _, e := range r.events {
+		name := e.Kind.String()
+		if e.Label != "" {
+			name = e.Label
+		}
 		ce := chromeEvent{
-			Name: e.Kind.String(),
+			Name: name,
 			Cat:  e.Kind.Category(),
 			Ts:   ticksToUS(int64(e.At)),
 			PID:  e.PID,
-			TID:  tidOf(e.Bank),
+			TID:  eventTID(e),
 		}
 		if e.Dur > 0 {
 			ce.Ph = "X"
@@ -130,6 +152,9 @@ func eventArgs(e Event) map[string]any {
 		args["subarray"] = e.Aux
 	case KindThrottle:
 		args["min_gap_ps"] = int64(e.Dur)
+	case KindSpan:
+		args["bank"] = e.Bank
+		args["stall_ps"] = e.Aux
 	}
 	if len(args) == 0 {
 		return nil

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,11 +18,18 @@ type metricsDump struct {
 }
 
 type histogramDump struct {
-	Count   int64        `json:"count"`
-	Sum     int64        `json:"sum"`
-	Min     int64        `json:"min"`
-	Max     int64        `json:"max"`
-	Mean    float64      `json:"mean"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	// P50/P95/P99 follow the upper-bound-of-bucket convention (see
+	// Histogram.Quantile): each is the inclusive upper edge of the
+	// power-of-two bucket holding that quantile's sample, clamped to Max —
+	// a conservative estimate that never understates the true quantile.
+	P50     int64        `json:"p50"`
+	P95     int64        `json:"p95"`
+	P99     int64        `json:"p99"`
 	Buckets []bucketDump `json:"buckets,omitempty"`
 }
 
@@ -52,6 +60,7 @@ func (m *Metrics) dump() metricsDump {
 			hd := histogramDump{
 				Count: h.Count(), Sum: h.Sum(),
 				Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
+				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 			}
 			for _, b := range h.Buckets() {
 				hd.Buckets = append(hd.Buckets, bucketDump{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
@@ -81,18 +90,22 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV dumps every instrument as flat `kind,name,field,value` rows,
-// sorted by kind then name, for spreadsheet or awk consumption. Safe on a
-// nil registry (writes only the header).
+// sorted by kind then name, for spreadsheet or awk consumption. The output
+// is RFC 4180 (encoding/csv): instrument names containing commas, quotes,
+// or newlines are quoted, not mangled. Histogram quantile rows (p50/p95/p99)
+// follow the upper-bound-of-bucket convention of Histogram.Quantile. Safe on
+// a nil registry (writes only the header).
 func (m *Metrics) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "kind,name,field,value\n"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "name", "field", "value"}); err != nil {
 		return err
 	}
 	if m == nil {
-		return nil
+		cw.Flush()
+		return cw.Error()
 	}
 	row := func(kind, name, field string, value any) error {
-		_, err := fmt.Fprintf(w, "%s,%s,%s,%v\n", kind, name, field, value)
-		return err
+		return cw.Write([]string{kind, name, field, fmt.Sprint(value)})
 	}
 	for _, k := range sortedKeysCounter(m.counters) {
 		if err := row("counter", k, "value", m.counters[k].Value()); err != nil {
@@ -106,20 +119,23 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 	}
 	for _, k := range sortedKeysHistogram(m.hists) {
 		h := m.hists[k]
-		if err := row("histogram", k, "count", h.Count()); err != nil {
-			return err
+		fields := []struct {
+			name  string
+			value any
+		}{
+			{"count", h.Count()},
+			{"sum", h.Sum()},
+			{"min", h.Min()},
+			{"max", h.Max()},
+			{"mean", fmt.Sprintf("%.3f", h.Mean())},
+			{"p50", h.Quantile(0.50)},
+			{"p95", h.Quantile(0.95)},
+			{"p99", h.Quantile(0.99)},
 		}
-		if err := row("histogram", k, "sum", h.Sum()); err != nil {
-			return err
-		}
-		if err := row("histogram", k, "min", h.Min()); err != nil {
-			return err
-		}
-		if err := row("histogram", k, "max", h.Max()); err != nil {
-			return err
-		}
-		if err := row("histogram", k, "mean", fmt.Sprintf("%.3f", h.Mean())); err != nil {
-			return err
+		for _, f := range fields {
+			if err := row("histogram", k, f.name, f.value); err != nil {
+				return err
+			}
 		}
 		for _, b := range h.Buckets() {
 			if err := row("histogram", k, fmt.Sprintf("bucket[%d-%d]", b.Lo, b.Hi), b.Count); err != nil {
@@ -134,5 +150,6 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 			}
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"shadow/internal/timing"
+)
+
+// TestWriteCSVHostileNames round-trips instrument names containing commas,
+// quotes, and spaces through the RFC 4180 writer: a reader must recover
+// every field byte for byte (hand-rolled joining would shear these rows).
+func TestWriteCSVHostileNames(t *testing.T) {
+	rec := NewRecorder(Options{Metrics: true, SampleInterval: timing.Microsecond})
+	hostile := []string{
+		`acts,per,bank`,
+		`lat "p99" spike`,
+		`mix, of "both"`,
+	}
+	p := rec.NewTrack(`track,with"quirks`)
+	p.Counter(hostile[0]).Add(7)
+	p.Histogram(hostile[1]).Observe(42)
+	p.Series(hostile[2]).Add(0, 3)
+
+	var out strings.Builder
+	if err := rec.Metrics().WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+
+	r := csv.NewReader(strings.NewReader(out.String()))
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output does not re-parse: %v\n%s", err, out.String())
+	}
+	if len(records) == 0 || strings.Join(records[0], "|") != "kind|name|field|value" {
+		t.Fatalf("bad header: %v", records)
+	}
+	seen := map[string]bool{}
+	for _, rec := range records[1:] {
+		if len(rec) != 4 {
+			t.Fatalf("row has %d fields, want 4: %v", len(rec), rec)
+		}
+		seen[rec[1]] = true
+	}
+	for _, name := range hostile {
+		full := `track,with"quirks/` + name
+		if !seen[full] {
+			t.Errorf("hostile name %q did not round-trip; rows: %v", full, records)
+		}
+	}
+}
+
+// TestHistogramQuantiles pins the upper-bound-of-bucket convention: each
+// quantile reports the inclusive upper edge of the power-of-two bucket
+// holding that quantile's sample, clamped to the observed max.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 samples in bucket [8,15], 10 in bucket [1024,2047].
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500)
+	}
+	if got := h.Quantile(0.50); got != 15 {
+		t.Errorf("p50 = %d, want 15 (upper edge of [8,15])", got)
+	}
+	if got := h.Quantile(0.90); got != 15 {
+		t.Errorf("p90 = %d, want 15", got)
+	}
+	if got := h.Quantile(0.95); got != 1500 {
+		t.Errorf("p95 = %d, want 1500 (bucket edge 2047 clamped to max)", got)
+	}
+	if got := h.Quantile(0.99); got != 1500 {
+		t.Errorf("p99 = %d, want 1500", got)
+	}
+
+	// Degenerate and edge inputs.
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
+	}
+	var one Histogram
+	one.Observe(100)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got != 100 {
+			t.Errorf("single-sample q%.1f = %d, want 100", q, got)
+		}
+	}
+	var zero Histogram
+	zero.Observe(0)
+	if got := zero.Quantile(0.99); got != 0 {
+		t.Errorf("zero-sample p99 = %d, want 0", got)
+	}
+	var neg Histogram
+	neg.Observe(-5) // negatives clamp into bucket 0; max stays negative
+	if got := neg.Quantile(0.5); got != -5 {
+		t.Errorf("negative-sample p50 = %d, want -5 (clamped to max)", got)
+	}
+}
+
+// TestDumpIncludesQuantiles checks the JSON and CSV dumps carry the
+// documented p50/p95/p99 fields.
+func TestDumpIncludesQuantiles(t *testing.T) {
+	rec := NewRecorder(Options{Metrics: true})
+	p := rec.NewTrack("run")
+	for i := int64(1); i <= 100; i++ {
+		p.Histogram("lat").Observe(i)
+	}
+	var js strings.Builder
+	if err := rec.Metrics().WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"p50": 63`, `"p95": 100`, `"p99": 100`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON dump missing %s:\n%s", want, js.String())
+		}
+	}
+	var out strings.Builder
+	if err := rec.Metrics().WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"histogram,run/lat,p50,63", "histogram,run/lat,p95,100", "histogram,run/lat,p99,100"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("CSV dump missing %s:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"shadow/internal/timing"
+)
+
+// InspectorSources supplies the data the live inspector serves. Every source
+// is invoked only from the simulation goroutine (inside Observe), never from
+// HTTP handlers, so sources may read live simulation state without locking.
+type InspectorSources struct {
+	// Metrics returns the current metrics dump as JSON (e.g. a closure over
+	// Metrics.WriteJSON). Nil omits the endpoint's payload.
+	Metrics func() []byte
+	// Blame returns the current rolling blame breakdown as JSON (e.g.
+	// report.BlameJSON over the span collector's aggregate so far).
+	Blame func() []byte
+	// Events returns the number of recorded trace events (Recorder.EventCount).
+	Events func() int64
+}
+
+// Inspector is the live run inspector behind the -inspect flag: an opt-in
+// HTTP endpoint serving heartbeat state, a metrics snapshot, and a rolling
+// blame breakdown while a run is in flight.
+//
+// Thread model: the simulation goroutine drives Observe (wired into the sim
+// Progress callback) and Done; HTTP handlers — on server goroutines — read
+// only the cached snapshot bytes under the mutex. Snapshots are refreshed at
+// most once per second of wall time, so inspection stays off the hot path.
+// Like Heartbeat, the wall clock is injected (time.Now in production),
+// keeping the package free of direct wall-clock reads.
+type Inspector struct {
+	clock func() time.Time
+
+	mu      sync.Mutex
+	label   string
+	now     timing.Tick
+	total   timing.Tick
+	started time.Time
+	// lastObserve/lastSim are the previous snapshot's wall and simulated
+	// time, for the sim-us-per-wall-second rate.
+	lastObserve time.Time
+	lastSim     timing.Tick
+	rate        float64
+	events      int64
+	done        bool
+	metricsJSON []byte
+	blameJSON   []byte
+
+	src    InspectorSources
+	minGap time.Duration
+	nextAt time.Time
+	seen   bool
+}
+
+// NewInspector builds an inspector. clock supplies wall time (time.Now in
+// production, a fake in tests).
+func NewInspector(clock func() time.Time) *Inspector {
+	return &Inspector{clock: clock, minGap: time.Second}
+}
+
+// SetSources attaches the data sources. Call before the run starts.
+func (ins *Inspector) SetSources(src InspectorSources) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	ins.src = src
+}
+
+// Observe records run progress; call it from the simulation goroutine (the
+// sim Progress callback). At most once per second it refreshes the cached
+// snapshots the HTTP handlers serve. Safe on a nil receiver.
+func (ins *Inspector) Observe(label string, now, total timing.Tick) {
+	if ins == nil {
+		return
+	}
+	wall := ins.clock()
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if !ins.seen || label != ins.label {
+		// First observation, or a new run phase (shadowexp moves through
+		// labeled experiment points): reset the rate baseline.
+		ins.seen = true
+		ins.label = label
+		ins.started = wall
+		ins.lastObserve = wall
+		ins.lastSim = 0
+		ins.rate = 0
+		ins.nextAt = wall // refresh immediately
+	}
+	ins.now, ins.total = now, total
+	if wall.Before(ins.nextAt) {
+		return
+	}
+	if secs := wall.Sub(ins.lastObserve).Seconds(); secs > 0 {
+		ins.rate = float64(now-ins.lastSim) / float64(timing.Microsecond) / secs
+	}
+	ins.lastObserve = wall
+	ins.lastSim = now
+	ins.nextAt = wall.Add(ins.minGap)
+	ins.refreshLocked()
+}
+
+// refreshLocked re-runs the sources into the cached snapshots. Caller holds
+// mu; runs on the simulation goroutine.
+func (ins *Inspector) refreshLocked() {
+	if ins.src.Metrics != nil {
+		ins.metricsJSON = ins.src.Metrics()
+	}
+	if ins.src.Blame != nil {
+		ins.blameJSON = ins.src.Blame()
+	}
+	if ins.src.Events != nil {
+		ins.events = ins.src.Events()
+	}
+}
+
+// Done marks the run finished and takes a final snapshot. Safe on a nil
+// receiver.
+func (ins *Inspector) Done() {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	ins.done = true
+	ins.now = ins.total
+	ins.refreshLocked()
+}
+
+// status is the JSON shape of /status.json.
+type status struct {
+	Label       string  `json:"label"`
+	Done        bool    `json:"done"`
+	SimNowPS    int64   `json:"sim_now_ps"`
+	SimTotalPS  int64   `json:"sim_total_ps"`
+	Percent     float64 `json:"percent"`
+	SimUSPerSec float64 `json:"sim_us_per_sec"`
+	Events      int64   `json:"events"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+}
+
+// snapshot copies the current state under the lock.
+func (ins *Inspector) snapshot() (status, []byte, []byte) {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	st := status{
+		Label:       ins.label,
+		Done:        ins.done,
+		SimNowPS:    int64(ins.now),
+		SimTotalPS:  int64(ins.total),
+		SimUSPerSec: ins.rate,
+		Events:      ins.events,
+	}
+	if ins.total > 0 {
+		st.Percent = 100 * float64(ins.now) / float64(ins.total)
+	}
+	if ins.seen {
+		st.ElapsedSec = ins.clock().Sub(ins.started).Seconds()
+	}
+	return st, ins.metricsJSON, ins.blameJSON
+}
+
+// Handler returns the inspector's HTTP handler:
+//
+//	/             HTML overview (auto-refreshing)
+//	/status.json  heartbeat state (progress, rate, event count)
+//	/metrics.json latest metrics snapshot
+//	/blame.json   rolling blame breakdown
+func (ins *Inspector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status.json", func(w http.ResponseWriter, r *http.Request) {
+		st, _, _ := ins.snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		_, metrics, _ := ins.snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		if len(metrics) == 0 {
+			metrics = []byte("{}\n")
+		}
+		w.Write(metrics)
+	})
+	mux.HandleFunc("/blame.json", func(w http.ResponseWriter, r *http.Request) {
+		_, _, blame := ins.snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		if len(blame) == 0 {
+			blame = []byte("[]\n")
+		}
+		w.Write(blame)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		st, _, blame := ins.snapshot()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		state := "running"
+		if st.Done {
+			state = "done"
+		}
+		fmt.Fprintf(w, `<!doctype html><html><head><meta http-equiv="refresh" content="2"><title>shadowtap inspector</title></head><body style="font-family:monospace">`)
+		fmt.Fprintf(w, "<h2>shadowtap inspector</h2>")
+		fmt.Fprintf(w, "<p>%s — %s — %.1f%% (%.1f of %.1f sim-us) — %.1f sim-us/s — %d events — %.1fs elapsed</p>",
+			htmlEscape(st.Label), state, st.Percent,
+			float64(st.SimNowPS)/1e6, float64(st.SimTotalPS)/1e6,
+			st.SimUSPerSec, st.Events, st.ElapsedSec)
+		fmt.Fprintf(w, `<p><a href="/status.json">status.json</a> · <a href="/metrics.json">metrics.json</a> · <a href="/blame.json">blame.json</a></p>`)
+		if len(blame) > 0 {
+			fmt.Fprintf(w, "<h3>rolling blame</h3><pre>%s</pre>", htmlEscape(string(blame)))
+		}
+		fmt.Fprintf(w, "</body></html>")
+	})
+	return mux
+}
+
+// htmlEscape covers the characters that matter inside the inspector's text
+// nodes.
+func htmlEscape(s string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b = append(b, "&lt;"...)
+		case '>':
+			b = append(b, "&gt;"...)
+		case '&':
+			b = append(b, "&amp;"...)
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shadow/internal/timing"
+)
+
+// TestInspectorEndpoints drives an inspector with a stepped fake clock and
+// checks all four endpoints serve coherent snapshots.
+func TestInspectorEndpoints(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	ins := NewInspector(clock)
+
+	metricsCalls, blameCalls := 0, 0
+	ins.SetSources(InspectorSources{
+		Metrics: func() []byte { metricsCalls++; return []byte(`{"m":1}`) },
+		Blame:   func() []byte { blameCalls++; return []byte(`[{"label":"run<1>"}]`) },
+		Events:  func() int64 { return 42 },
+	})
+
+	srv := httptest.NewServer(ins.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Before any observation: valid empty documents, not errors.
+	if code, body := get("/metrics.json"); code != 200 || body != "{}\n" {
+		t.Errorf("pre-run /metrics.json = %d %q", code, body)
+	}
+	if code, body := get("/blame.json"); code != 200 || body != "[]\n" {
+		t.Errorf("pre-run /blame.json = %d %q", code, body)
+	}
+
+	ins.Observe("fig8/mix/h4096", 25*timing.Microsecond, 100*timing.Microsecond)
+
+	var st struct {
+		Label      string  `json:"label"`
+		Done       bool    `json:"done"`
+		SimNowPS   int64   `json:"sim_now_ps"`
+		SimTotalPS int64   `json:"sim_total_ps"`
+		Percent    float64 `json:"percent"`
+		Events     int64   `json:"events"`
+	}
+	_, body := get("/status.json")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status.json does not parse: %v\n%s", err, body)
+	}
+	if st.Label != "fig8/mix/h4096" || st.Done || st.Percent != 25 || st.Events != 42 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.SimNowPS != int64(25*timing.Microsecond) || st.SimTotalPS != int64(100*timing.Microsecond) {
+		t.Errorf("sim times = %d/%d", st.SimNowPS, st.SimTotalPS)
+	}
+
+	if _, body := get("/metrics.json"); body != `{"m":1}` {
+		t.Errorf("/metrics.json = %q", body)
+	}
+	if _, body := get("/blame.json"); !strings.Contains(body, "run<1>") {
+		t.Errorf("/blame.json = %q", body)
+	}
+
+	// HTML overview: escaped label and links to the JSON endpoints.
+	_, html := get("/")
+	for _, want := range []string{"fig8/mix/h4096", "running", "status.json", "blame.json", "run&lt;1&gt;"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("overview missing %q:\n%s", want, html)
+		}
+	}
+	if code, _ := get("/nosuch"); code != 404 {
+		t.Errorf("unknown path served %d, want 404", code)
+	}
+
+	// Observations inside the 1s refresh window update progress but do not
+	// re-run the sources.
+	calls := metricsCalls
+	now = now.Add(300 * time.Millisecond)
+	ins.Observe("fig8/mix/h4096", 50*timing.Microsecond, 100*timing.Microsecond)
+	if metricsCalls != calls {
+		t.Errorf("sources re-ran inside the refresh window (%d -> %d)", calls, metricsCalls)
+	}
+	_, body = get("/status.json")
+	if !strings.Contains(body, `"percent":50`) {
+		t.Errorf("progress not updated inside window: %s", body)
+	}
+
+	// Past the window: sources refresh.
+	now = now.Add(time.Second)
+	ins.Observe("fig8/mix/h4096", 75*timing.Microsecond, 100*timing.Microsecond)
+	if metricsCalls == calls {
+		t.Error("sources did not refresh after the window elapsed")
+	}
+
+	// Done: final snapshot, 100%, state flips.
+	ins.Done()
+	_, body = get("/status.json")
+	if !strings.Contains(body, `"done":true`) || !strings.Contains(body, `"percent":100`) {
+		t.Errorf("final status: %s", body)
+	}
+	if _, html := get("/"); !strings.Contains(html, "done") {
+		t.Errorf("overview after Done missing state:\n%s", html)
+	}
+	if blameCalls == 0 {
+		t.Error("blame source never ran")
+	}
+
+	// Nil receiver: observation entry points are inert.
+	var nilIns *Inspector
+	nilIns.SetSources(InspectorSources{})
+	nilIns.Observe("x", 0, 0)
+	nilIns.Done()
+}
+
+// TestInspectorLabelChangeResetsRate checks a new run label restarts the
+// rate baseline instead of blending two runs' progress.
+func TestInspectorLabelChangeResetsRate(t *testing.T) {
+	now := time.Unix(0, 0)
+	ins := NewInspector(func() time.Time { return now })
+
+	ins.Observe("a", 10*timing.Microsecond, 100*timing.Microsecond)
+	now = now.Add(2 * time.Second)
+	ins.Observe("a", 90*timing.Microsecond, 100*timing.Microsecond)
+
+	ins.Observe("b", 5*timing.Microsecond, 100*timing.Microsecond)
+	st, _, _ := ins.snapshot()
+	if st.Label != "b" {
+		t.Fatalf("label = %q, want b", st.Label)
+	}
+	if st.SimUSPerSec != 0 {
+		t.Errorf("rate carried across label change: %f", st.SimUSPerSec)
+	}
+}

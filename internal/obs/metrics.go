@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 
@@ -258,6 +259,49 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the inclusive upper edge of the power-of-two bucket holding the sample of
+// rank ceil(q*count), clamped to the observed maximum. The convention is
+// conservative — the true quantile is never underestimated — and documented
+// in the metrics dumps, which carry p50/p95/p99 under it. Returns 0 when
+// empty (or on a nil receiver).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum < rank {
+			continue
+		}
+		if i == 0 {
+			// Bucket 0 holds values <= 0; its upper edge is 0, tightened to
+			// Max when every sample is negative.
+			if h.max < 0 {
+				return h.max
+			}
+			return 0
+		}
+		hi := int64(math.MaxInt64)
+		if i < 63 {
+			hi = int64(1)<<i - 1
+		}
+		if hi > h.max {
+			hi = h.max
+		}
+		return hi
+	}
+	return h.max
 }
 
 // Bucket is one non-empty histogram bucket covering [Lo, Hi].

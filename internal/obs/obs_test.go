@@ -230,7 +230,13 @@ func TestHeartbeat(t *testing.T) {
 		t.Fatal("heartbeat printed before minGap elapsed")
 	}
 
-	now = now.Add(time.Second)
+	now = now.Add(300 * time.Millisecond) // stepped, but below the 500ms gap
+	h.Tick(30 * timing.Microsecond)
+	if out.Len() != before {
+		t.Fatal("heartbeat printed 300ms after the last print (gap is 500ms)")
+	}
+
+	now = now.Add(700 * time.Millisecond) // 1s past the last print: due
 	n = 500
 	h.Tick(60 * timing.Microsecond)
 	if !strings.Contains(out.String(), "60.0%") || !strings.Contains(out.String(), "500 events/s") {

@@ -1,0 +1,174 @@
+// Blame reporting for shadowtap spans: per-workload, per-scheme stall
+// breakdown tables and a critical-path summary, rendered from the
+// conservation-exact aggregates of internal/obs/span.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"shadow/internal/obs/span"
+	"shadow/internal/timing"
+)
+
+// BlameRow is one labeled run (a scheme, a workload mix, an operating point)
+// in a blame table.
+type BlameRow struct {
+	Label string
+	Agg   span.Aggregate
+}
+
+// blameCauses returns the causes worth a column: CauseService always, plus
+// every cause with nonzero attributed time in at least one row, in taxonomy
+// order.
+func blameCauses(rows []BlameRow) []span.Cause {
+	var out []span.Cause
+	for c := span.Cause(0); c < span.NumCauses; c++ {
+		nonzero := c == span.CauseService
+		for _, r := range rows {
+			if r.Agg.Stall[c] > 0 {
+				nonzero = true
+				break
+			}
+		}
+		if nonzero {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BlameTable renders the per-run stall breakdown: one row per labeled run,
+// one column per stall cause that appears anywhere, each cell the percentage
+// of the runs' total resident time attributed to that cause (so a row sums
+// to 100% — the conservation invariant made visible). A trailing column
+// reports the mean resident time per request in nanoseconds.
+func BlameTable(title string, rows []BlameRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(rows) == 0 {
+		b.WriteString("  (no spans recorded)\n")
+		return b.String()
+	}
+	causes := blameCauses(rows)
+
+	labelW := len("run")
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s  %10s", labelW, "run", "requests")
+	for _, c := range causes {
+		fmt.Fprintf(&b, "  %11s", c)
+	}
+	fmt.Fprintf(&b, "  %12s\n", "resident/req")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s  %10d", labelW, r.Label, r.Agg.Spans)
+		for _, c := range causes {
+			fmt.Fprintf(&b, "  %10.1f%%", pct(r.Agg.Stall[c], r.Agg.Resident))
+		}
+		fmt.Fprintf(&b, "  %10.1fns\n", residentPerReq(r.Agg))
+	}
+	return b.String()
+}
+
+// CriticalPath renders one run's blame ranked by attributed time, with bars —
+// the "where did the time go" view for a single scheme.
+func CriticalPath(label string, agg span.Aggregate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %s\n", label)
+	if agg.Spans == 0 {
+		b.WriteString("  (no spans recorded)\n")
+		return b.String()
+	}
+	type slice struct {
+		cause span.Cause
+		ticks timing.Tick
+	}
+	var slices []slice
+	for c := span.Cause(0); c < span.NumCauses; c++ {
+		if agg.Stall[c] > 0 {
+			slices = append(slices, slice{cause: c, ticks: agg.Stall[c]})
+		}
+	}
+	sort.SliceStable(slices, func(i, j int) bool { return slices[i].ticks > slices[j].ticks })
+	const width = 40
+	for _, s := range slices {
+		p := pct(s.ticks, agg.Resident)
+		bar := int(p / 100 * width)
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  %-11s %6.1f%%  %s\n", s.cause, p, strings.Repeat("#", bar))
+	}
+	fmt.Fprintf(&b, "  %d requests, %.1f%% row hits, %.1fns mean resident",
+		agg.Spans, 100*float64(agg.RowHits)/float64(agg.Spans), residentPerReq(agg))
+	if !agg.Conserved() {
+		fmt.Fprintf(&b, "  [CONSERVATION VIOLATED: stall %d != resident %d]",
+			agg.StallTotal(), agg.Resident)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// blameJSON is the machine-readable shape of one blame row.
+type blameJSON struct {
+	Label         string           `json:"label"`
+	Requests      int64            `json:"requests"`
+	Reads         int64            `json:"reads"`
+	Writes        int64            `json:"writes"`
+	RowHits       int64            `json:"row_hits"`
+	ResidentPS    int64            `json:"resident_ps"`
+	ResidentPerNS float64          `json:"resident_per_req_ns"`
+	Conserved     bool             `json:"conserved"`
+	StallPS       map[string]int64 `json:"stall_ps"`
+}
+
+// BlameJSON renders blame rows as deterministic JSON (maps marshal with
+// sorted keys; only nonzero causes appear).
+func BlameJSON(rows []BlameRow) []byte {
+	out := make([]blameJSON, 0, len(rows))
+	for _, r := range rows {
+		j := blameJSON{
+			Label:         r.Label,
+			Requests:      r.Agg.Spans,
+			Reads:         r.Agg.Reads,
+			Writes:        r.Agg.Writes,
+			RowHits:       r.Agg.RowHits,
+			ResidentPS:    int64(r.Agg.Resident),
+			ResidentPerNS: residentPerReq(r.Agg),
+			Conserved:     r.Agg.Conserved(),
+			StallPS:       map[string]int64{},
+		}
+		for c := span.Cause(0); c < span.NumCauses; c++ {
+			if r.Agg.Stall[c] > 0 {
+				j.StallPS[c.String()] = int64(r.Agg.Stall[c])
+			}
+		}
+		out = append(out, j)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("report: blame marshal: %v", err))
+	}
+	return b
+}
+
+// pct is 100*num/den, 0 on an empty denominator.
+func pct(num, den timing.Tick) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// residentPerReq is the mean resident time per request in nanoseconds.
+func residentPerReq(a span.Aggregate) float64 {
+	if a.Spans == 0 {
+		return 0
+	}
+	return float64(a.Resident) / float64(a.Spans) / float64(timing.Nanosecond)
+}

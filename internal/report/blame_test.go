@@ -1,0 +1,109 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"shadow/internal/obs/span"
+	"shadow/internal/timing"
+)
+
+func blameFixture() []BlameRow {
+	var base, sh span.Aggregate
+	base.Spans, base.Reads, base.Writes, base.RowHits = 100, 80, 20, 60
+	base.Stall[span.CauseService] = 600 * timing.Nanosecond
+	base.Stall[span.CauseRefresh] = 400 * timing.Nanosecond
+	base.Resident = 1000 * timing.Nanosecond
+
+	sh.Spans, sh.Reads, sh.Writes, sh.RowHits = 100, 80, 20, 55
+	sh.Stall[span.CauseService] = 500 * timing.Nanosecond
+	sh.Stall[span.CauseRefresh] = 300 * timing.Nanosecond
+	sh.Stall[span.CauseShuffle] = 200 * timing.Nanosecond
+	sh.Resident = 1000 * timing.Nanosecond
+
+	return []BlameRow{{Label: "baseline", Agg: base}, {Label: "shadow", Agg: sh}}
+}
+
+func TestBlameTable(t *testing.T) {
+	out := BlameTable("stall blame", blameFixture())
+	for _, want := range []string{
+		"stall blame",
+		"baseline", "shadow",
+		"service", "refresh", "shuffle",
+		"60.0%", // baseline service
+		"20.0%", // shadow shuffle
+		"10.0ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Causes absent from every run get no column.
+	if strings.Contains(out, "throttle") || strings.Contains(out, "swap") {
+		t.Errorf("table grew columns for unattributed causes:\n%s", out)
+	}
+	if got := BlameTable("empty", nil); !strings.Contains(got, "no spans recorded") {
+		t.Errorf("empty table = %q", got)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	rows := blameFixture()
+	out := CriticalPath("shadow", rows[1].Agg)
+	// Ranked by attributed time: service first, then refresh, then shuffle.
+	si := strings.Index(out, "service")
+	ri := strings.Index(out, "refresh")
+	hi := strings.Index(out, "shuffle")
+	if !(si >= 0 && si < ri && ri < hi) {
+		t.Errorf("causes not ranked by time (service %d, refresh %d, shuffle %d):\n%s", si, ri, hi, out)
+	}
+	for _, want := range []string{"#", "100 requests", "55.0% row hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("critical path missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "CONSERVATION VIOLATED") {
+		t.Errorf("conserved aggregate flagged as violated:\n%s", out)
+	}
+
+	// A broken aggregate must be called out loudly, not silently renormalized.
+	bad := rows[1].Agg
+	bad.Resident += 5
+	if out := CriticalPath("bad", bad); !strings.Contains(out, "CONSERVATION VIOLATED") {
+		t.Errorf("violated aggregate not flagged:\n%s", out)
+	}
+
+	if got := CriticalPath("empty", span.Aggregate{}); !strings.Contains(got, "no spans recorded") {
+		t.Errorf("empty critical path = %q", got)
+	}
+}
+
+func TestBlameJSON(t *testing.T) {
+	b := BlameJSON(blameFixture())
+	var rows []struct {
+		Label     string           `json:"label"`
+		Requests  int64            `json:"requests"`
+		Conserved bool             `json:"conserved"`
+		StallPS   map[string]int64 `json:"stall_ps"`
+	}
+	if err := json.Unmarshal(b, &rows); err != nil {
+		t.Fatalf("BlameJSON does not re-parse: %v\n%s", err, b)
+	}
+	if len(rows) != 2 || rows[0].Label != "baseline" || rows[1].Label != "shadow" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if !rows[0].Conserved || !rows[1].Conserved {
+		t.Error("conserved fixture marshaled as unconserved")
+	}
+	if got := rows[1].StallPS["shuffle"]; got != int64(200*timing.Nanosecond) {
+		t.Errorf("shadow shuffle stall = %d, want %d", got, int64(200*timing.Nanosecond))
+	}
+	if _, ok := rows[0].StallPS["shuffle"]; ok {
+		t.Error("baseline row carries a zero shuffle cause")
+	}
+	// Deterministic output: two renders are byte-identical.
+	if string(b) != string(BlameJSON(blameFixture())) {
+		t.Error("BlameJSON not deterministic")
+	}
+}

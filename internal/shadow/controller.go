@@ -5,6 +5,7 @@ import (
 
 	"shadow/internal/dram"
 	"shadow/internal/obs"
+	"shadow/internal/obs/span"
 	"shadow/internal/rng"
 	"shadow/internal/timing"
 )
@@ -95,6 +96,11 @@ func (c *Controller) SetProbe(p *obs.Probe) {
 
 // Name implements dram.Mitigator.
 func (c *Controller) Name() string { return "shadow" }
+
+// RFMBlame implements span.Attributor: SHADOW spends its RFM windows
+// shuffling rows and incrementally refreshing, so shadowtap attributes the
+// resulting ACT holds to shuffle work rather than generic RFM.
+func (c *Controller) RFMBlame() span.Cause { return span.CauseShuffle }
 
 // PairOf returns the subarray paired with sub: the subarray whose
 // remapping-row stores sub's mapping. Pairing is an involution.

@@ -8,6 +8,7 @@ import (
 	"shadow/internal/dram"
 	"shadow/internal/hammer"
 	"shadow/internal/obs"
+	"shadow/internal/obs/span"
 	"shadow/internal/shadow"
 	"shadow/internal/timing"
 	"shadow/internal/trace"
@@ -21,7 +22,7 @@ import (
 // into simulation state (e.g. an Observe with a side effect, or probe-gated
 // control flow).
 func TestObservationDoesNotPerturbStats(t *testing.T) {
-	run := func(probe *obs.Probe) *Result {
+	run := func(probe *obs.Probe, spans *span.Collector) *Result {
 		g := smallGeo()
 		profiles := trace.MixHigh(2)
 		for i := range profiles {
@@ -35,6 +36,7 @@ func TestObservationDoesNotPerturbStats(t *testing.T) {
 			Workload:  trace.Generators(profiles, g, 99),
 			Duration:  80 * timing.Microsecond,
 			Probe:     probe,
+			Spans:     spans,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -65,19 +67,51 @@ func TestObservationDoesNotPerturbStats(t *testing.T) {
 		}
 	}
 
-	bare := view(run(nil))
+	bare := view(run(nil, nil))
 
 	metRec := obs.NewRecorder(obs.Options{Metrics: true})
-	metrics := view(run(metRec.NewTrack("m")))
+	metrics := view(run(metRec.NewTrack("m"), nil))
 
 	fullRec := obs.NewRecorder(obs.Options{Metrics: true, Events: true})
-	full := view(run(fullRec.NewTrack("f")))
+	full := view(run(fullRec.NewTrack("f"), nil))
+
+	// Shadowtap's span tracking sits directly on the controller's scheduling
+	// decisions, so it is held to the same neutrality bar: spans on (with and
+	// without event probing) must not move a single statistic.
+	spanCol := span.NewCollector(0)
+	spanned := view(run(nil, spanCol))
+
+	spanRec := obs.NewRecorder(obs.Options{Metrics: true, Events: true})
+	spanFullCol := span.NewCollector(0)
+	spanFull := view(run(spanRec.NewTrack("s"), spanFullCol))
 
 	if !reflect.DeepEqual(bare, metrics) {
 		t.Errorf("metrics-only run diverged from unobserved run:\n bare: %+v\n metrics: %+v", bare, metrics)
 	}
 	if !reflect.DeepEqual(bare, full) {
 		t.Errorf("fully traced run diverged from unobserved run:\n bare: %+v\n traced: %+v", bare, full)
+	}
+	if !reflect.DeepEqual(bare, spanned) {
+		t.Errorf("span-tracked run diverged from unobserved run:\n bare: %+v\n spans: %+v", bare, spanned)
+	}
+	if !reflect.DeepEqual(bare, spanFull) {
+		t.Errorf("span+trace run diverged from unobserved run:\n bare: %+v\n span+trace: %+v", bare, spanFull)
+	}
+
+	// The span runs must have recorded conserved spans, or their equalities
+	// are vacuous; and the two span runs must agree with each other (probing
+	// must not change what the tracker records).
+	for _, col := range []*span.Collector{spanCol, spanFullCol} {
+		agg := col.Aggregate()
+		if agg.Spans == 0 {
+			t.Fatal("span run recorded no spans")
+		}
+		if !agg.Conserved() {
+			t.Errorf("span aggregate not conserved: stall %d != resident %d", agg.StallTotal(), agg.Resident)
+		}
+	}
+	if a, b := spanCol.Aggregate(), spanFullCol.Aggregate(); !reflect.DeepEqual(a, b) {
+		t.Errorf("span aggregates differ with/without event probe:\n unprobed: %+v\n probed: %+v", a, b)
 	}
 
 	// The observed runs must actually have observed something, or the
@@ -102,6 +136,27 @@ func TestObservationDoesNotPerturbStats(t *testing.T) {
 	}
 	for _, want := range []string{`"name":"ACT"`, `"name":"RFM"`, `"name":"shuffle"`} {
 		if !strings.Contains(b.String(), want) {
+			t.Errorf("Chrome trace missing %s", want)
+		}
+	}
+
+	// The probed span run must have emitted per-request duration events that
+	// render as blame-labeled flame rows on per-core lane threads.
+	spanEvents := 0
+	for _, e := range spanRec.Events() {
+		if e.Kind == obs.KindSpan {
+			spanEvents++
+		}
+	}
+	if spanEvents == 0 {
+		t.Fatal("span+trace run emitted no KindSpan events")
+	}
+	var sb strings.Builder
+	if err := spanRec.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"req:`, `"name":"core 0 lane 0"`} {
+		if !strings.Contains(sb.String(), want) {
 			t.Errorf("Chrome trace missing %s", want)
 		}
 	}

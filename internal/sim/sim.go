@@ -22,6 +22,7 @@ import (
 	"shadow/internal/memsys"
 	"shadow/internal/mitigate"
 	"shadow/internal/obs"
+	"shadow/internal/obs/span"
 	"shadow/internal/timing"
 	"shadow/internal/trace"
 )
@@ -79,6 +80,11 @@ type Config struct {
 	// memory controllers, devices, and mitigation schemes; channel ch
 	// records on the probe's ForChannel(ch). Nil disables all observation.
 	Probe *obs.Probe
+	// Spans, when set, threads shadowtap request-lifecycle tracing through
+	// the controllers and devices: every request gets a span with
+	// conservation-exact stall-cause attribution, rolled up per channel.
+	// Nil disables span tracking entirely.
+	Spans *span.Collector
 	// Progress, when set, is called with the current simulated time roughly
 	// every ProgressEvery ticks (observation only; drives the CLI
 	// heartbeat). It must not mutate simulation state.
@@ -111,6 +117,11 @@ type core struct {
 	outstanding int
 	insts       int64
 	stalled     bool
+	// backoff marks a pending request rejected by a full bank queue;
+	// backoffAt is the first rejected attempt, reported to the request's
+	// span as queue-full backpressure once it finally enqueues.
+	backoff   bool
+	backoffAt timing.Tick
 }
 
 // Run executes the simulation.
@@ -187,12 +198,14 @@ func Run(cfg Config) (*Result, error) {
 				ps.SetProbe(chProbe)
 			}
 		}
+		spanTr := cfg.Spans.ForChannel(ch, cfg.Geometry.Banks, chProbe)
 		dev, err := dram.NewDevice(dram.Config{
 			Geometry:  cfg.Geometry,
 			Params:    cfg.Params,
 			Hammer:    cfg.Hammer,
 			Mitigator: mit,
 			Probe:     chProbe,
+			Spans:     spanTr,
 		})
 		if err != nil {
 			return nil, err
@@ -209,6 +222,7 @@ func Run(cfg Config) (*Result, error) {
 			OnComplete: onComplete,
 			OnCommand:  onCmd,
 			Probe:      chProbe,
+			Spans:      spanTr,
 		})
 	}
 	mc, err := memsys.New(ctls)
@@ -274,8 +288,15 @@ func Run(cfg Config) (*Result, error) {
 				}
 				if !mc.Enqueue(req) {
 					// Bank queue full: retry after a short backoff.
+					if !c.backoff {
+						c.backoff, c.backoffAt = true, now
+					}
 					c.nextIssueAt = now + cfg.Params.TCK*4
 					break
+				}
+				if c.backoff {
+					req.Span.NoteBackpressure(c.backoffAt)
+					c.backoff = false
 				}
 				c.outstanding++
 				c.fetch(cfg.InstPerNS, now)

@@ -23,6 +23,12 @@ go build ./...
 echo "==> shadowvet"
 go run ./cmd/shadowvet ./...
 
+# The span tracker sits on the memory controller's critical path; gate it
+# explicitly so a future package move can't silently drop it from the
+# determinism analyzer's restricted set.
+echo "==> shadowvet (span tracker)"
+go run ./cmd/shadowvet ./internal/obs/span
+
 echo "==> go test -race"
 go test -race ./...
 
