@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the full gate every PR must pass.
 
-.PHONY: build test race vet fmt bench verify
+.PHONY: build test race vet lint fmt bench verify
 
 build:
 	go build ./...
@@ -13,6 +13,11 @@ race:
 
 vet:
 	go vet ./...
+	go run ./cmd/shadowvet ./...
+
+# shadowvet alone, for fast iteration on analyzer findings; `make vet` runs
+# it behind go vet, `make verify` behind the whole gate.
+lint:
 	go run ./cmd/shadowvet ./...
 
 fmt:

@@ -6,14 +6,23 @@
 //
 //	go run ./cmd/shadowvet ./...
 //	go run ./cmd/shadowvet ./internal/... ./cmd/...
+//	go run ./cmd/shadowvet -json ./... > shadowvet-report.json
 //	go run ./cmd/shadowvet -list
 //
 // The suite enforces simulator determinism (no wall-clock reads, no global
 // math/rand, no order-sensitive map iteration in the simulation packages),
-// the "<pkg>: ..." panic-message convention, checked errors on DRAM
-// command-issuing methods, and sane sync.Mutex/WaitGroup usage. A finding
-// can be waived with a "//shadowvet:ignore <analyzer> -- reason" comment on
-// or above the offending line.
+// exhaustive switches over the closed enums (span.Cause, obs.Kind,
+// memctrl.CmdKind, ...), nil-receiver guards on the nil-safe obs hot-path
+// types, the internal/ import DAG, the "<pkg>: ..." panic-message
+// convention, checked errors on DRAM command-issuing methods, and sane
+// sync.Mutex/WaitGroup usage. A finding can be waived with a
+// "//shadowvet:ignore <analyzer> -- reason" comment on or above the
+// offending line; the driver checks the waivers themselves (a reason is
+// mandatory and a waiver that suppresses nothing is itself a finding).
+//
+// -json emits the findings as a JSON array (empty when clean) on stdout for
+// CI annotation; the human-readable summary stays on stderr. Packages are
+// analyzed in parallel; output order is deterministic either way.
 package main
 
 import (
@@ -26,8 +35,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout (for CI annotation)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: shadowvet [-list] [packages]\n\npackages are go-style patterns (default ./...)\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: shadowvet [-list] [-json] [packages]\n\npackages are go-style patterns (default ./...)\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +65,8 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Loading stays sequential (the loader's importer cache is shared);
+	// the analysis itself fans out per package below.
 	var pkgs []*analysis.Package
 	for _, dir := range dirs {
 		loaded, err := loader.LoadDir(dir)
@@ -70,9 +82,19 @@ func main() {
 		pkgs = append(pkgs, loaded...)
 	}
 
-	diags := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := analysis.Run(pkgs, analyzers, analysis.Options{
+		CheckWaivers: true,
+		Parallel:     true,
+	})
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "shadowvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "shadowvet: %d finding(s)\n", len(diags))

@@ -7,14 +7,20 @@
 // deterministic cycle-level simulation: a single hidden source of
 // nondeterminism (a wall-clock read, global math/rand, an order-dependent
 // map iteration) silently corrupts every table. The analyzers turn the
-// repository's determinism and DRAM-protocol conventions into machine
-// checks that run in CI (scripts/check.sh).
+// repository's determinism, DRAM-protocol, and architecture conventions
+// into machine checks that run in CI (scripts/check.sh).
 //
 // A finding can be waived where a human can prove what the analyzer cannot
 // (for example an order-independent min/max reduction over a map) by
 // annotating the line — or the line directly above it — with
 //
-//	//shadowvet:ignore <analyzer>[,<analyzer>...] [-- reason]
+//	//shadowvet:ignore <analyzer>[,<analyzer>...] -- reason
+//
+// Waivers are themselves checked (Options.CheckWaivers, always on in the
+// driver): a waiver must carry a "-- reason" justification, must name known
+// analyzers, and must actually suppress a finding — a stale waiver that
+// suppresses nothing is a finding in its own right, so waivers cannot
+// outlive the code smell they excused.
 package analysis
 
 import (
@@ -22,8 +28,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one named check.
@@ -38,8 +46,13 @@ type Analyzer struct {
 
 // All returns the full shadowvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, PanicMsg, CmdErr, Locks}
+	return []*Analyzer{Determinism, Exhaustive, NilGuard, Layering, PanicMsg, CmdErr, Locks}
 }
+
+// WaiverAnalyzerName labels the waiver-hygiene findings produced when
+// Options.CheckWaivers is set. It is not a real analyzer and cannot itself
+// be waived — a circular waiver would defeat the check.
+const WaiverAnalyzerName = "waiver"
 
 // A Diagnostic is one finding, resolved to a file position.
 type Diagnostic struct {
@@ -67,8 +80,8 @@ type Pass struct {
 	Pkg  *types.Package
 	Info *types.Info
 
-	diags    *[]Diagnostic
-	suppress map[string]map[int]map[string]bool // filename -> line -> analyzer set
+	diags   *[]Diagnostic
+	waivers map[string]map[int][]*waiver // filename -> line -> directives
 }
 
 // Reportf records a diagnostic at pos unless an ignore directive covers it.
@@ -85,15 +98,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 func (p *Pass) suppressedAt(pos token.Position) bool {
-	lines := p.suppress[pos.Filename]
+	lines := p.waivers[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	// A directive waives its own line and the line below it (directive-only
 	// comment lines annotate the statement that follows).
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		if set := lines[line]; set[p.Analyzer.Name] {
-			return true
+		for _, w := range lines[line] {
+			if w.names[p.Analyzer.Name] {
+				w.used[p.Analyzer.Name] = true
+				return true
+			}
 		}
 	}
 	return false
@@ -101,9 +117,21 @@ func (p *Pass) suppressedAt(pos token.Position) bool {
 
 const ignoreDirective = "shadowvet:ignore"
 
-// buildSuppressions scans a package's comments for ignore directives.
-func buildSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	out := map[string]map[int]map[string]bool{}
+// A waiver is one parsed //shadowvet:ignore directive, with enough state to
+// tell after the analyzers ran whether it earned its keep.
+type waiver struct {
+	pos       token.Position
+	names     map[string]bool // analyzers the directive waives
+	nameOrder []string        // declaration order, for stable diagnostics
+	reason    string          // the "-- reason" tail, "" when absent
+	used      map[string]bool // analyzers that actually suppressed a finding
+}
+
+// parseWaivers scans a package's comments for ignore directives and returns
+// them both indexed for suppression lookup and ordered for hygiene checks.
+func parseWaivers(fset *token.FileSet, files []*ast.File) (map[string]map[int][]*waiver, []*waiver) {
+	index := map[string]map[int][]*waiver{}
+	var all []*waiver
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -113,50 +141,72 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[in
 					continue
 				}
 				text = strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
-				// Strip the optional "-- reason" tail.
+				w := &waiver{
+					pos:   fset.Position(c.Pos()),
+					names: map[string]bool{},
+					used:  map[string]bool{},
+				}
 				if i := strings.Index(text, "--"); i >= 0 {
+					w.reason = strings.TrimSpace(text[i+len("--"):])
 					text = text[:i]
 				}
-				pos := fset.Position(c.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					out[pos.Filename] = lines
-				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = map[string]bool{}
-					lines[pos.Line] = set
-				}
 				for _, name := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-					set[name] = true
+					if !w.names[name] {
+						w.names[name] = true
+						w.nameOrder = append(w.nameOrder, name)
+					}
 				}
+				lines := index[w.pos.Filename]
+				if lines == nil {
+					lines = map[int][]*waiver{}
+					index[w.pos.Filename] = lines
+				}
+				lines[w.pos.Line] = append(lines[w.pos.Line], w)
+				all = append(all, w)
 			}
 		}
 	}
-	return out
+	return index, all
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// findings sorted by position.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		suppress := buildSuppressions(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				PkgPath:  pkg.Path,
-				PkgName:  pkg.Name,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-				suppress: suppress,
-			}
-			a.Run(pass)
+// Options tunes a Run.
+type Options struct {
+	// CheckWaivers turns waiver hygiene on: every //shadowvet:ignore must
+	// carry a "-- reason", name analyzers that exist, and suppress at least
+	// one finding of every analyzer it names (per name, so a two-analyzer
+	// waiver with one dead name is still stale).
+	CheckWaivers bool
+	// Parallel analyzes packages concurrently (one goroutine per package,
+	// bounded by GOMAXPROCS). Output order is unaffected: diagnostics are
+	// sorted by position either way.
+	Parallel bool
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	if opts.Parallel && len(pkgs) > 1 {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for i, pkg := range pkgs {
+			wg.Add(1)
+			go func(i int, pkg *Package) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				perPkg[i] = analyzePackage(pkg, analyzers, opts)
+			}(i, pkg)
 		}
+		wg.Wait()
+	} else {
+		for i, pkg := range pkgs {
+			perPkg[i] = analyzePackage(pkg, analyzers, opts)
+		}
+	}
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -172,4 +222,85 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags
+}
+
+// RunAnalyzers is Run with default options (sequential, no waiver
+// hygiene) — the shape fixture tests use, where a subset of the suite runs
+// and waiver bookkeeping would misfire.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return Run(pkgs, analyzers, Options{})
+}
+
+// analyzePackage runs the analyzers over one package. Packages share no
+// mutable state (the FileSet and imported type data are read-only here), so
+// Run may call this concurrently.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+	var diags []Diagnostic
+	index, waivers := parseWaivers(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			PkgPath:  pkg.Path,
+			PkgName:  pkg.Name,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+			waivers:  index,
+		}
+		a.Run(pass)
+	}
+	if opts.CheckWaivers {
+		diags = append(diags, checkWaivers(waivers, analyzers)...)
+	}
+	return diags
+}
+
+// checkWaivers turns waiver-hygiene violations into findings. A name is
+// judged stale only when its analyzer actually ran; names of known
+// analyzers outside this run are left alone (fixture tests run subsets).
+func checkWaivers(waivers []*waiver, ran []*Analyzer) []Diagnostic {
+	ranSet := map[string]bool{}
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	report := func(w *waiver, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      w.pos,
+			Analyzer: WaiverAnalyzerName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, w := range waivers {
+		if len(w.nameOrder) == 0 {
+			report(w, "waiver names no analyzer; write //%s <analyzer> -- reason", ignoreDirective)
+			continue
+		}
+		if strings.TrimSpace(w.reason) == "" {
+			report(w, "waiver has no justification; append \"-- reason\" explaining why the finding is safe")
+		}
+		for _, name := range w.nameOrder {
+			switch {
+			case !known[name] && !ranSet[name]:
+				report(w, "waiver names unknown analyzer %q (known: %s)", name, strings.Join(analyzerNames(All()), ", "))
+			case ranSet[name] && !w.used[name]:
+				report(w, "stale waiver: no %s finding here to suppress; delete the directive (or the %s entry)", name, name)
+			}
+		}
+	}
+	return out
+}
+
+func analyzerNames(as []*Analyzer) []string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return names
 }

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive requires every value switch over a closed enum to either cover
+// all of the enum's constants or carry an explicit default clause. The
+// repository grows its enums (span.Cause gained causes in PR 3, obs.Kind in
+// PR 2); a switch that silently skips a new member corrupts blame tables
+// and trace output without failing any test, so the gap must be visible —
+// a listed case or a deliberate default, never an accidental fall-through.
+//
+// Closed enums are discovered generically, not from a hardcoded list: a
+// type defined in this module whose underlying kind is integer with a
+// const block covering
+// the contiguous run 0..n-1 (the iota idiom — span.Cause, obs.Kind,
+// memctrl.CmdKind, timing.Grade), or a defined string type with at least
+// two constants (exp.Scheme). Sparse integer constant sets (timing.Tick's
+// unit constants, bit masks) are not enums and stay unchecked. Sentinel
+// count constants (NumCauses) anchor the contiguity check but are not
+// required as cases.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "require switches over closed enums (iota blocks, string-constant sets) to cover " +
+		"every constant or carry an explicit default",
+	Run: runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkEnumSwitch(pass, sw)
+			return true
+		})
+	}
+}
+
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	t := pass.Info.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	enum := enumOf(t)
+	if enum == nil {
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			return
+		}
+		if cc.List == nil {
+			return // explicit default: the author owns the remainder
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: coverage is not provable
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, m := range enum.members {
+		if m.required && !covered[m.key] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s; add the missing cases or an explicit default",
+			enum.name, strings.Join(missing, ", "))
+	}
+}
+
+// enumMember is one distinct constant value of a closed enum, keyed by its
+// exact constant value so aliases (two names, one value) count once.
+type enumMember struct {
+	name     string
+	key      string
+	val      int64 // integer enums only, for declaration-order sorting
+	required bool  // sentinels (NumX) are members but need no case
+}
+
+type enumInfo struct {
+	name    string
+	members []enumMember
+}
+
+// enumOf decides whether t is a closed enum and returns its members in
+// value order, or nil. Membership comes from the type checker's view of the
+// defining package, so it works identically for enums defined in the
+// package under analysis and for imported ones (cmdtrace switching over
+// memctrl.CmdKind).
+func enumOf(t types.Type) *enumInfo {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil // predeclared types (error) are not enums
+	}
+	if pkg.Path() != "shadow" && !strings.HasPrefix(pkg.Path(), "shadow/") {
+		// Only this module's enums are closed sets the repo controls;
+		// stdlib enums (go/token.Token, reflect.Kind) are open-ended and
+		// exhaustiveness over them is not a convention here.
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	isInt := basic.Info()&types.IsInteger != 0
+	isString := basic.Info()&types.IsString != 0
+	if !isInt && !isString {
+		return nil
+	}
+	byKey := map[string]int{} // value key -> index in members
+	var members []enumMember
+	scope := pkg.Scope()
+	for _, name := range scope.Names() { // sorted; value order restored below
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if i, seen := byKey[key]; seen {
+			// An alias: one member, required if any of its names is real.
+			if !isSentinel(name) {
+				members[i].required = true
+			}
+			continue
+		}
+		m := enumMember{name: name, key: key, required: !isSentinel(name)}
+		if isInt {
+			v, exact := constant.Int64Val(c.Val())
+			if !exact || v < 0 {
+				return nil // out-of-range constants: not an iota enum
+			}
+			m.val = v
+		}
+		byKey[key] = len(members)
+		members = append(members, m)
+	}
+	if len(members) < 2 {
+		return nil // a one-constant type is not a closed enum
+	}
+	if isInt {
+		// The iota fingerprint: distinct values are exactly {0..n-1}. This
+		// separates closed enums from unit constants and bit masks.
+		sort.Slice(members, func(i, j int) bool { return members[i].val < members[j].val })
+		if members[0].val != 0 || members[len(members)-1].val != int64(len(members)-1) {
+			return nil
+		}
+	}
+	required := false
+	for _, m := range members {
+		required = required || m.required
+	}
+	if !required {
+		return nil
+	}
+	return &enumInfo{name: typeString(named), members: members}
+}
+
+// isSentinel matches the NumX count-constant idiom that closes an iota
+// block to size arrays (span.NumCauses): a member of the type, but not a
+// value a switch is expected to handle.
+func isSentinel(name string) bool {
+	return strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num")
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// diagnosticJSON is the machine-readable shape of one finding, consumed by
+// CI annotators (one object per finding; the array is sorted by position,
+// so output is deterministic).
+type diagnosticJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (always an array,
+// "[]" when clean, trailing newline) for the driver's -json mode.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]diagnosticJSON, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, diagnosticJSON{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSON round-trips real findings through the -json encoding.
+func TestWriteJSON(t *testing.T) {
+	pkg := loadFixture(t, "panicmsg", "")
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{PanicMsg})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("decoded %d findings, want %d", len(decoded), len(diags))
+	}
+	for i, d := range decoded {
+		if d.File != diags[i].Pos.Filename || d.Line != diags[i].Pos.Line ||
+			d.Col != diags[i].Pos.Column || d.Analyzer != diags[i].Analyzer || d.Message != diags[i].Message {
+			t.Errorf("finding %d mismatch: %+v vs %v", i, d, diags[i])
+		}
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("JSON output should end with a newline")
+	}
+}
+
+// TestWriteJSONEmpty: a clean run emits an empty array, not null — CI
+// consumers iterate without a null check.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty diagnostics should encode as [], got %q", got)
+	}
+}

@@ -1,0 +1,49 @@
+// Fixture for the exhaustive analyzer: switches over closed enums that
+// skip members without an explicit default.
+package exhaustive
+
+import "shadow/internal/timing"
+
+// color is a local iota enum with a sentinel count constant.
+type color uint8
+
+const (
+	colorRed color = iota
+	colorGreen
+	colorBlue
+	numColors
+)
+
+// mode is a local string enum.
+type mode string
+
+const (
+	modeFast mode = "fast"
+	modeSlow mode = "slow"
+)
+
+func describeBad(c color) string {
+	switch c { // want:exhaustive (missing colorBlue)
+	case colorRed:
+		return "red"
+	case colorGreen:
+		return "green"
+	}
+	return "?"
+}
+
+func gradeBad(g timing.Grade) int {
+	switch g { // want:exhaustive (an imported enum counts too)
+	case timing.DDR4_2666:
+		return 4
+	}
+	return 5
+}
+
+func modeBad(m mode) bool {
+	switch m { // want:exhaustive (missing modeSlow)
+	case modeFast:
+		return true
+	}
+	return false
+}

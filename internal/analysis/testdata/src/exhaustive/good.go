@@ -1,0 +1,67 @@
+package exhaustive
+
+import "shadow/internal/timing"
+
+// All members covered; the numColors sentinel needs no case.
+func describeGood(c color) string {
+	switch c {
+	case colorRed, colorGreen:
+		return "warm"
+	case colorBlue:
+		return "cool"
+	}
+	return "?"
+}
+
+// An explicit default owns the remainder.
+func gradeGood(g timing.Grade) int {
+	switch g {
+	case timing.DDR5_4800:
+		return 5
+	default:
+		return 4
+	}
+}
+
+// A non-constant case makes coverage unprovable: skipped, not flagged.
+func nonConstant(c, other color) bool {
+	switch c {
+	case other:
+		return true
+	}
+	return false
+}
+
+// unit has sparse constants (no contiguous 0..n-1 run): not an enum.
+type unit int64
+
+const (
+	kilo unit = 1000
+	mega unit = 1000 * kilo
+)
+
+func unitSwitch(u unit) string {
+	switch u {
+	case kilo:
+		return "k"
+	}
+	return "?"
+}
+
+// A plain basic type is not an enum.
+func plain(s string) bool {
+	switch s {
+	case "x":
+		return true
+	}
+	return false
+}
+
+// A tagless switch is a cascaded if, not an enum dispatch.
+func tagless(c color) bool {
+	switch {
+	case c == colorRed:
+		return true
+	}
+	return false
+}

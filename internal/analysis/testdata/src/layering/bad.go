@@ -1,0 +1,10 @@
+// Fixture for the layering analyzer. The package masquerades as
+// shadow/internal/dram (path override in the test): the device layer may
+// not reach up into the memory controller.
+package layering
+
+import (
+	"shadow/internal/memctrl" // want:layering (dram may not import memctrl)
+)
+
+var _ = memctrl.CmdACT

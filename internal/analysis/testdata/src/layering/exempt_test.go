@@ -1,0 +1,8 @@
+package layering
+
+// Test files are exempt from layering: a test may drive its package from
+// above without inverting the runtime architecture.
+
+import "shadow/internal/memsys"
+
+var _ = memsys.New

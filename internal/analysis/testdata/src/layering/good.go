@@ -1,0 +1,11 @@
+package layering
+
+import (
+	"fmt"
+
+	"shadow/internal/timing"
+)
+
+// dram may import timing (a layer below); non-internal imports are free.
+var _ = fmt.Sprint
+var _ timing.Tick

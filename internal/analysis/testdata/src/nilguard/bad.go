@@ -1,0 +1,32 @@
+// Fixture for the nilguard analyzer. The package masquerades as
+// shadow/internal/obs (path override in the test), so the Probe and
+// Heartbeat types here stand in for the real hot-path types.
+package nilguard
+
+// Probe mirrors the nil-safe instrumentation handle.
+type Probe struct{ n int }
+
+// Bump has no guard at all.
+func (p *Probe) Bump() { // want:nilguard
+	p.n++
+}
+
+// Late guards after work has already run on the receiver's behalf.
+func (p *Probe) Late() int { // want:nilguard
+	x := 1
+	if p == nil {
+		return x
+	}
+	return p.n + x
+}
+
+// Heartbeat mirrors the progress reporter.
+type Heartbeat struct{ done bool }
+
+// Wrong tests a different variable, not the receiver.
+func (h *Heartbeat) Wrong(other *Heartbeat) { // want:nilguard
+	if other == nil {
+		return
+	}
+	h.done = true
+}

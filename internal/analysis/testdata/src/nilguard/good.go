@@ -1,0 +1,39 @@
+package nilguard
+
+// Guard: the canonical early return.
+func (p *Probe) Guard() {
+	if p == nil {
+		return
+	}
+	p.n++
+}
+
+// Enabled: a single return of the nil comparison.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Wrapped: all work inside the non-nil branch.
+func (p *Probe) Wrapped(d int) {
+	if p != nil {
+		p.n += d
+	}
+}
+
+// Compound: the receiver test shares the condition.
+func (h *Heartbeat) Compound() {
+	if h == nil || h.done {
+		return
+	}
+	h.done = true
+}
+
+// unexported methods are outside the exported-contract check.
+func (h *Heartbeat) bump() { h.done = true }
+
+// Value receivers cannot be nil.
+func (h Heartbeat) Snapshot() bool { return h.done }
+
+// helper is not one of the guarded types.
+type helper struct{ n int }
+
+// Bump on an unguarded type needs no guard.
+func (x *helper) Bump() { x.n++ }

@@ -1,0 +1,36 @@
+// Fixture for waiver hygiene (Options.CheckWaivers). The package
+// masquerades as shadow/internal/sim so the determinism analyzer fires.
+package waiver
+
+// Used and justified: no hygiene finding.
+func sumJustified(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v //shadowvet:ignore determinism -- order-independent sum
+	}
+	return total
+}
+
+// Used but reasonless: the suppression still works, hygiene objects.
+func sumReasonless(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v //shadowvet:ignore determinism
+	}
+	return total
+}
+
+// Stale: there is no determinism finding here to suppress.
+//
+//shadowvet:ignore determinism -- leftover from a refactor
+func stale() int { return 0 }
+
+// Unknown analyzer name (a typo'd directive silently ignores nothing).
+//
+//shadowvet:ignore determinsm -- guard the sum below
+func typo() int { return 1 }
+
+// A directive that names no analyzer waives nothing.
+//
+//shadowvet:ignore
+func nameless() int { return 2 }

@@ -94,6 +94,11 @@ func TestPointBuildAllSchemes(t *testing.T) {
 			if mc == nil {
 				t.Errorf("%s: missing MC-side policy", s)
 			}
+		default:
+			// Baseline and DRR are timing-only: no mitigator of either kind.
+			if dm != nil || mc != nil {
+				t.Errorf("%s: unexpected mitigator for a timing-only scheme", s)
+			}
 		}
 	}
 }

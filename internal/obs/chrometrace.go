@@ -155,6 +155,8 @@ func eventArgs(e Event) map[string]any {
 	case KindSpan:
 		args["bank"] = e.Bank
 		args["stall_ps"] = e.Aux
+	default:
+		// The plain command kinds carry no extra operand beyond row.
 	}
 	if len(args) == 0 {
 		return nil

@@ -76,8 +76,9 @@ func (k Kind) Category() string {
 		return "fault"
 	case KindSpan:
 		return "req"
+	default: // KindTRR, KindShuffle, KindIncRefresh, KindSwap, KindThrottle
+		return "mitigation"
 	}
-	return "mitigation"
 }
 
 // Event is one structured observation. Zero Dur means an instant.

@@ -39,8 +39,11 @@ func NewHeartbeat(w io.Writer, label string, total timing.Tick, clock func() tim
 }
 
 // WithEvents attaches an event-count source (e.g. Recorder.EventCount) so
-// progress lines include an events/sec rate.
+// progress lines include an events/sec rate. Safe on a nil receiver.
 func (h *Heartbeat) WithEvents(events func() int64) *Heartbeat {
+	if h == nil {
+		return nil
+	}
 	h.events = events
 	return h
 }

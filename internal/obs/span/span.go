@@ -503,10 +503,10 @@ func (c *Collector) Trackers() []*Tracker {
 
 // Aggregate merges every channel's blame.
 func (c *Collector) Aggregate() Aggregate {
-	var a Aggregate
 	if c == nil {
-		return a
+		return Aggregate{}
 	}
+	var a Aggregate
 	for _, t := range c.trackers {
 		if t != nil {
 			a.Merge(t.agg)

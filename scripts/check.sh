@@ -20,14 +20,24 @@ go vet ./...
 echo "==> go build"
 go build ./...
 
+# The -json report is kept as a CI artifact so a reviewer can diff findings
+# across runs without re-running the suite. shadowvet exits non-zero on any
+# finding, which aborts the gate via set -e; tee still leaves the report
+# behind for inspection.
 echo "==> shadowvet"
-go run ./cmd/shadowvet ./...
+go run ./cmd/shadowvet -json ./... | tee shadowvet-report.json
 
 # The span tracker sits on the memory controller's critical path; gate it
 # explicitly so a future package move can't silently drop it from the
 # determinism analyzer's restricted set.
 echo "==> shadowvet (span tracker)"
 go run ./cmd/shadowvet ./internal/obs/span
+
+# examples/ is built but (deliberately) excluded from layering: it sits above
+# internal/ like cmd/. Gate it explicitly so the demos keep passing the rest
+# of the suite — panic messages, command-error handling, lock hygiene.
+echo "==> shadowvet (examples)"
+go run ./cmd/shadowvet ./examples/...
 
 echo "==> go test -race"
 go test -race ./...
