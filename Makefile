@@ -24,12 +24,17 @@ fmt:
 	gofmt -w cmd internal examples bench_test.go
 
 # One pass over every benchmark as a smoke test, plus a machine-readable
-# report (BENCH_pr3.json): shadowbench echoes the benchmark output through
+# report (BENCH_pr5.json): shadowbench echoes the benchmark output through
 # and appends headline per-scheme simulation stats with the shadowtap blame
-# split. For real measurements run with -count=10 and compare with benchstat
-# (see README "Observability & profiling").
+# split. -benchmem feeds allocs/op into the report so the zero-alloc hot
+# path is pinned by data, not just by the regression tests. Set
+# BENCH_BEFORE=<prior report.json> to embed before/after comparisons
+# (speedup, alloc reduction) against an earlier run. For real measurements
+# run with -count=10 and compare with benchstat (see README "Observability
+# & profiling").
 bench:
-	go test -bench . -benchtime 1x -run '^$$' ./... | go run ./cmd/shadowbench -o BENCH_pr3.json
+	go test -bench . -benchmem -benchtime 1x -run '^$$' ./... | \
+		go run ./cmd/shadowbench -o BENCH_pr5.json $(if $(BENCH_BEFORE),-before $(BENCH_BEFORE))
 
 verify:
 	./scripts/check.sh

@@ -17,6 +17,8 @@ import (
 	"shadow/internal/exp"
 	"shadow/internal/hammer"
 	"shadow/internal/mitigate"
+	"shadow/internal/obs"
+	"shadow/internal/obs/span"
 	"shadow/internal/power"
 	"shadow/internal/security"
 	"shadow/internal/shadow"
@@ -27,6 +29,72 @@ import (
 
 func benchOpts() exp.RunOpts {
 	return exp.RunOpts{Duration: 60 * timing.Microsecond, Cores: 4, Subarrays: 8, Seed: 5}
+}
+
+// BenchmarkSim measures raw simulator throughput — the perf gate of the
+// event-driven scheduler. Four headline schemes (DDR4-2666, 4 cores), each
+// in three modes: the event-driven scheduler as shipped, the same with full
+// observation attached (shadowscope probe + shadowtap spans, which forces
+// non-idle banks volatile in the readiness cache), and the legacy full-
+// rescan scheduler kept compiled for the equivalence test — the scheduler-
+// overhead baseline. Run with -benchmem; shadowbench records ns/op,
+// allocs/op, and sims/sec into the BENCH report.
+func BenchmarkSim(b *testing.B) {
+	schemes := []exp.Scheme{exp.Baseline, exp.Shadow, exp.MithrilPerf, exp.BlockHammer}
+	modes := []struct {
+		name           string
+		probed, rescan bool
+	}{
+		{name: "event"},
+		{name: "probed", probed: true},
+		{name: "rescan", rescan: true},
+	}
+	for _, scheme := range schemes {
+		for _, mode := range modes {
+			mode := mode
+			b.Run(string(scheme)+"/"+mode.name, func(b *testing.B) {
+				benchSim(b, scheme, mode.probed, mode.rescan)
+			})
+		}
+	}
+}
+
+func benchSim(b *testing.B, scheme exp.Scheme, probed, rescan bool) {
+	o := benchOpts()
+	geo := o.Geometry(timing.DDR4_2666)
+	profiles := trace.MixHigh(o.Cores)
+	for i := range profiles {
+		if profiles[i].WorkingSetRows > geo.PARowsPerBank() {
+			profiles[i].WorkingSetRows = geo.PARowsPerBank()
+		}
+	}
+	b.ReportAllocs()
+	// Warm process-level caches (the Table II security analytics behind
+	// scheme construction) outside the timed region so ns/op reflects
+	// steady-state simulation cost rather than first-call setup.
+	warm := exp.Point{Scheme: scheme, HCnt: 4096, Blast: 3, Grade: timing.DDR4_2666, Seed: o.Seed}
+	warm.Build(geo, o.Duration)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := exp.Point{Scheme: scheme, HCnt: 4096, Blast: 3, Grade: timing.DDR4_2666, Seed: o.Seed}
+		p, dm, mc := pt.Build(geo, o.Duration)
+		cfg := sim.Config{
+			Params: p, Geometry: geo, DeviceMit: dm, MCSide: mc,
+			Hammer:     hammer.Config{HCnt: 1 << 30, BlastRadius: 3},
+			Workload:   trace.Generators(profiles, geo, o.Seed),
+			Duration:   o.Duration,
+			FullRescan: rescan,
+		}
+		if probed {
+			rec := obs.NewRecorder(obs.Options{Metrics: true})
+			cfg.Probe = rec.NewTrack(string(scheme))
+			cfg.Spans = span.NewCollector(0)
+		}
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sims/sec")
 }
 
 // BenchmarkTable2 regenerates Table II: SHADOW's rank-year bit-flip

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x -run '^$' ./... | shadowbench -o BENCH_pr3.json
+//	go test -bench . -benchmem -benchtime 1x -run '^$' ./... | shadowbench -o BENCH_pr5.json
+//
+// With -before FILE, a prior report's benchmarks are embedded as the
+// "before" side and every benchmark present in both runs gains a comparison
+// entry (ns/op speedup, allocs/op reduction) — the before/after evidence the
+// scheduler-performance acceptance gate asks for.
 //
 // The report carries no timestamps or host identifiers, so reruns on
 // unchanged code produce comparable documents.
@@ -60,13 +65,32 @@ type simResult struct {
 	DominantStall string           `json:"dominant_stall,omitempty"`
 }
 
+// benchCompare relates one benchmark's before and after measurements.
+// Speedup is before/after ns-per-op (>1 means faster); AllocCutPct is the
+// allocs/op reduction in percent (present only when both sides ran with
+// -benchmem).
+type benchCompare struct {
+	Name        string  `json:"name"`
+	BeforeNs    float64 `json:"before_ns_per_op"`
+	AfterNs     float64 `json:"after_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+	BeforeAlloc float64 `json:"before_allocs_per_op,omitempty"`
+	AfterAlloc  float64 `json:"after_allocs_per_op,omitempty"`
+	AllocCutPct float64 `json:"alloc_reduction_pct,omitempty"`
+}
+
 type benchReport struct {
 	Benchmarks []benchResult `json:"benchmarks"`
-	Sims       []simResult   `json:"sims"`
+	// Before and Compare are present only when -before supplies a prior
+	// report to measure against.
+	Before  []benchResult  `json:"before_benchmarks,omitempty"`
+	Compare []benchCompare `json:"compare,omitempty"`
+	Sims    []simResult    `json:"sims"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr3.json", "output JSON path")
+	out := flag.String("o", "BENCH_pr5.json", "output JSON path")
+	before := flag.String("before", "", "prior report JSON to compare against (its benchmarks become the 'before' side)")
 	skipSims := flag.Bool("no-sims", false, "skip the headline scheme simulations")
 	flag.Parse()
 
@@ -78,6 +102,12 @@ func main() {
 	}
 
 	rep := benchReport{Benchmarks: benches, Sims: []simResult{}}
+	if *before != "" {
+		prior, err := loadReport(*before)
+		exitOn(err)
+		rep.Before = prior.Benchmarks
+		rep.Compare = compare(prior.Benchmarks, benches)
+	}
 	if !*skipSims {
 		rep.Sims, err = headlineSims()
 		exitOn(err)
@@ -91,6 +121,51 @@ func main() {
 	exitOn(f.Close())
 	fmt.Fprintf(os.Stderr, "shadowbench: %d benchmarks, %d scheme sims -> %s\n",
 		len(rep.Benchmarks), len(rep.Sims), *out)
+}
+
+// loadReport reads a previously written benchReport.
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare pairs before/after benchmarks by name and derives speedup and
+// alloc-reduction figures. Benchmarks present on only one side are skipped —
+// the comparison covers the intersection.
+func compare(before, after []benchResult) []benchCompare {
+	prior := make(map[string]benchResult, len(before))
+	for _, b := range before {
+		prior[b.Name] = b
+	}
+	var out []benchCompare
+	for _, a := range after {
+		b, ok := prior[a.Name]
+		if !ok || b.NsPerOp <= 0 || a.NsPerOp <= 0 {
+			continue
+		}
+		c := benchCompare{
+			Name:     a.Name,
+			BeforeNs: b.NsPerOp,
+			AfterNs:  a.NsPerOp,
+			Speedup:  b.NsPerOp / a.NsPerOp,
+		}
+		ba, aOk := b.Metrics["allocs/op"]
+		aa, bOk := a.Metrics["allocs/op"]
+		if aOk && bOk && ba > 0 {
+			c.BeforeAlloc = ba
+			c.AfterAlloc = aa
+			c.AllocCutPct = (1 - aa/ba) * 100
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 // parseBenchStream reads stdin, echoes each line to stdout, and collects the

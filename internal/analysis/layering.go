@@ -25,6 +25,9 @@ var layerImports = map[string][]string{
 	"rng":      {},
 	"analysis": {},
 
+	// Containers over timing ticks.
+	"minq": {"timing"},
+
 	// Leaf instrumentation and reporting.
 	"circuit":  {"timing"},
 	"obs":      {"timing"},
@@ -38,7 +41,7 @@ var layerImports = map[string][]string{
 	"shadow":   {"dram", "hammer", "obs", "obs/span", "rng", "timing"},
 
 	// The controller and its observers.
-	"memctrl":  {"dram", "hammer", "mitigate", "obs", "obs/span", "rng", "shadow", "timing"},
+	"memctrl":  {"dram", "hammer", "minq", "mitigate", "obs", "obs/span", "rng", "shadow", "timing"},
 	"memsys":   {"dram", "hammer", "memctrl", "obs", "obs/span", "timing"},
 	"cmdtrace": {"dram", "hammer", "memctrl", "obs", "timing"},
 	"power":    {"dram", "memctrl", "timing"},

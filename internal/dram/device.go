@@ -75,6 +75,12 @@ type Device struct {
 	spans    *span.Tracker
 	rfmCause span.Cause
 
+	// busyNotify, when set, observes every device-side bank busy window
+	// (REF/REFsb/RFM) as it opens. The memory controller registers it to
+	// keep its per-bank readiness cache tight: nothing can issue on the
+	// bank before the window closes.
+	busyNotify func(bank int, until timing.Tick)
+
 	// Stats aggregated over banks plus rank-level commands.
 	Refs int64
 }
@@ -155,6 +161,13 @@ func MustNewDevice(cfg Config) *Device {
 	return d
 }
 
+// SetBusyNotifier registers fn to observe every bank busy window the device
+// opens (REF, REFsb, RFM), with the tick at which the window ends. One
+// observer; nil detaches.
+func (d *Device) SetBusyNotifier(fn func(bank int, until timing.Tick)) {
+	d.busyNotify = fn
+}
+
 // Geometry returns the rank geometry.
 func (d *Device) Geometry() Geometry { return d.geo }
 
@@ -229,6 +242,9 @@ func (d *Device) Refresh(now timing.Tick) error {
 		if err := b.AutoRefresh(d.refRowsPerREF, now, d.p.RFC); err != nil {
 			return err
 		}
+		if d.busyNotify != nil {
+			d.busyNotify(b.id, now+d.p.RFC)
+		}
 	}
 	d.Refs++
 	d.spans.NoteAllBusy(now, now+d.p.RFC, span.CauseRefresh)
@@ -250,6 +266,9 @@ func (d *Device) RefreshBank(bank int, now timing.Tick) error {
 		return err
 	}
 	d.Refs++
+	if d.busyNotify != nil {
+		d.busyNotify(bank, now+d.p.RFCsb)
+	}
 	d.spans.NoteBusy(bank, now, now+d.p.RFCsb, span.CauseRefresh)
 	return nil
 }
@@ -277,6 +296,9 @@ func (d *Device) RFM(bank int, now timing.Tick) error {
 	d.cmdAt = now
 	d.mit.OnRFM(b, now)
 	b.setBusy(now + d.p.RFM)
+	if d.busyNotify != nil {
+		d.busyNotify(bank, now+d.p.RFM)
+	}
 	d.spans.NoteBusy(bank, now, now+d.p.RFM, d.rfmCause)
 	return nil
 }

@@ -233,6 +233,10 @@ type RunOpts struct {
 	// label, its current simulated time, and its total horizon (drives the
 	// live -inspect endpoint). Setting it forces Workers=1.
 	Progress func(label string, now, total timing.Tick)
+	// FullRescan runs every simulation with the pre-event-driven full-rescan
+	// scheduler (see sim.Config.FullRescan): the scheduler-overhead baseline
+	// for BenchmarkSim and the equivalence tests.
+	FullRescan bool
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -300,6 +304,8 @@ func runPoint(pt Point, profiles []trace.Profile, o RunOpts) (float64, *sim.Resu
 		Probe:    probe,
 		Spans:    spans,
 		Progress: progress,
+
+		FullRescan: o.FullRescan,
 	})
 	if err != nil {
 		return 0, nil, err
@@ -344,7 +350,7 @@ var (
 )
 
 func baselineRun(grade timing.Grade, profiles []trace.Profile, geo dram.Geometry, o RunOpts) (*sim.Result, error) {
-	key := fmt.Sprintf("%v/%d/%d/%d/%d/%d", grade, o.Duration, o.Warmup, o.Cores, o.Seed, o.Subarrays)
+	key := fmt.Sprintf("%v/%d/%d/%d/%d/%d/%v", grade, o.Duration, o.Warmup, o.Cores, o.Seed, o.Subarrays, o.FullRescan)
 	for _, p := range profiles {
 		key += "," + p.Name
 	}
@@ -360,6 +366,8 @@ func baselineRun(grade timing.Grade, profiles []trace.Profile, geo dram.Geometry
 		Workload: trace.Generators(profiles, geo, o.Seed),
 		Duration: o.Duration + o.Warmup,
 		Warmup:   o.Warmup,
+
+		FullRescan: o.FullRescan,
 	})
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"shadow/internal/dram"
+	"shadow/internal/minq"
 	"shadow/internal/mitigate"
 	"shadow/internal/obs"
 	"shadow/internal/obs/span"
@@ -120,6 +121,12 @@ type Options struct {
 	// request gets a Span with conservation-exact stall-cause attribution.
 	// Nil costs one check per scheduling decision.
 	Spans *span.Tracker
+	// FullRescan reverts Step to the pre-event-driven scheduler that
+	// re-evaluates every bank on every call instead of consulting the
+	// per-bank readiness cache. It exists so the scheduler-equivalence
+	// regression test can prove the cached path bit-identical; simulation
+	// entry points expose it for the same purpose only.
+	FullRescan bool
 }
 
 type bankCtl struct {
@@ -154,14 +161,31 @@ type Controller struct {
 
 	// Channel-global timing state.
 	cmdBusFreeAt timing.Tick
-	colGlobalAt  timing.Tick         // next column cmd (tCCD_S)
-	colGroupAt   map[int]timing.Tick // per bank group (tCCD_L)
-	rrdGlobalAt  timing.Tick         // next ACT (tRRD_S)
-	rrdGroupAt   map[int]timing.Tick // per bank group (tRRD_L)
-	actWindow    [4]timing.Tick      // tFAW ring
+	colGlobalAt  timing.Tick    // next column cmd (tCCD_S)
+	colGroupAt   []timing.Tick  // per bank group (tCCD_L)
+	rrdGlobalAt  timing.Tick    // next ACT (tRRD_S)
+	rrdGroupAt   []timing.Tick  // per bank group (tRRD_L)
+	actWindow    [4]timing.Tick // tFAW ring
 	actWindowIdx int
 	busFreeAt    timing.Tick // data bus
 	blockedUntil timing.Tick // RRS swap channel blocking
+
+	// Event-driven scheduling state (nil ready == FullRescan). ready caches
+	// each non-volatile bank's earliest possibly-actionable tick — always a
+	// lower bound on the bank's true next-action time, so stale entries cost
+	// an extra (behavior-neutral) wakeup, never a missed command. Volatile
+	// banks are kept out of the cache and re-evaluated every Step: banks
+	// whose binding ACT constraint is the MC-side throttle (BlockHammer's
+	// allowed-at can move EARLIER at an epoch rotation, with no bank event
+	// to invalidate on) and, when spans are attached, every non-idle bank
+	// (a global event can change a waiting bank's blame cause, and the
+	// cause timeline must move at the same Step the full rescan would move
+	// it). scan/bankNext are per-Step scratch.
+	ready     *minq.Queue
+	scan      []int
+	bankNext  []timing.Tick
+	vol       []bool
+	throttled []bool
 
 	nextRefreshAt timing.Tick
 	refreshDrain  bool
@@ -195,6 +219,7 @@ func New(dev *dram.Device, opt Options) *Controller {
 	if mc == nil {
 		mc = mitigate.NopMCSide{}
 	}
+	groups := (dev.Banks() + 3) / 4
 	c := &Controller{
 		dev:           dev,
 		p:             dev.Params(),
@@ -202,9 +227,21 @@ func New(dev *dram.Device, opt Options) *Controller {
 		opt:           opt,
 		mc:            mc,
 		banks:         make([]bankCtl, dev.Banks()),
-		colGroupAt:    make(map[int]timing.Tick),
-		rrdGroupAt:    make(map[int]timing.Tick),
+		colGroupAt:    make([]timing.Tick, groups),
+		rrdGroupAt:    make([]timing.Tick, groups),
 		nextRefreshAt: dev.Params().REFI,
+	}
+	if !opt.FullRescan {
+		n := dev.Banks()
+		c.ready = minq.New(n)
+		c.scan = make([]int, 0, n)
+		c.bankNext = make([]timing.Tick, n)
+		c.vol = make([]bool, n)
+		c.throttled = make([]bool, n)
+		for i := 0; i < n; i++ {
+			c.ready.Set(i, 0) // first Step classifies every bank
+		}
+		dev.SetBusyNotifier(c.liftBusy)
 	}
 	if opt.SameBankRefresh {
 		if dev.Params().RFCsb <= 0 {
@@ -248,6 +285,7 @@ func (c *Controller) Enqueue(r *Request) bool {
 		return false
 	}
 	b.queue = append(b.queue, r)
+	c.dirty(r.Bank, r.Arrive)
 	c.depthHist.Observe(int64(len(b.queue)))
 	if c.spans != nil {
 		r.Span = c.spans.Start(r.Core, r.Bank, r.Row, r.Write, r.Arrive)
@@ -307,6 +345,16 @@ func (c *Controller) Step(now timing.Tick) timing.Tick {
 		}
 	}
 
+	if c.ready == nil {
+		return c.stepRescan(now, next)
+	}
+	return c.stepEvent(now, next)
+}
+
+// stepRescan is the pre-event-driven scheduler: phases 2-4 re-evaluate every
+// bank on every Step. Kept verbatim behind Options.FullRescan as the
+// reference the equivalence test measures the cached path against.
+func (c *Controller) stepRescan(now, next timing.Tick) timing.Tick {
 	// 2. Per-bank RFM when the RAA counter demands it.
 	for i := range c.banks {
 		t, issued := c.tryRFM(now, i)
@@ -334,6 +382,160 @@ func (c *Controller) Step(now timing.Tick) timing.Tick {
 		next = minTick(next, t)
 	}
 	return next
+}
+
+// stepEvent runs phases 2-4 over only the banks that could act: the volatile
+// set plus every bank whose cached readiness has arrived. The scan set is
+// sorted ascending so the (phase, bank) consultation order — and therefore
+// which command issues when several are legal at the same tick — matches
+// stepRescan exactly.
+func (c *Controller) stepEvent(now, next timing.Tick) timing.Tick {
+	// Select the scan set in one index-order pass: volatile banks plus every
+	// bank whose cached readiness has arrived (Key is O(1)). Selected banks
+	// stay in the queue while they are evaluated — re-keying in place costs
+	// one heap sift instead of the two a pop/re-insert pair would — and the
+	// index order matches stepRescan's consultation order by construction,
+	// with no sort.
+	scan := c.scan[:0]
+	for i := range c.banks {
+		if c.vol[i] {
+			scan = append(scan, i)
+		} else if key, ok := c.ready.Key(i); ok && key <= now {
+			scan = append(scan, i)
+		}
+	}
+	c.scan = scan
+	for _, i := range scan {
+		c.bankNext[i] = timing.Forever
+		c.throttled[i] = false
+	}
+	for _, i := range scan {
+		t, issued := c.tryRFM(now, i)
+		if issued {
+			return c.issuedDuringScan(now, 0)
+		}
+		c.bankNext[i] = minTick(c.bankNext[i], t)
+	}
+	for _, i := range scan {
+		t, issued := c.tryTRR(now, i)
+		if issued {
+			return c.issuedDuringScan(now, 0)
+		}
+		c.bankNext[i] = minTick(c.bankNext[i], t)
+	}
+	for s, i := range scan {
+		t, issued := c.tryDemand(now, i)
+		if issued {
+			// Demand is the last phase: banks earlier in the scan are fully
+			// evaluated and keep their computed readiness.
+			return c.issuedDuringScan(now, s)
+		}
+		c.bankNext[i] = minTick(c.bankNext[i], t)
+	}
+	// Nothing issued: re-cache each scanned bank (every non-issue time from
+	// the phases is strictly greater than now, so the Step loop cannot spin)
+	// or keep it in the volatile set if it must be re-evaluated every Step.
+	for _, i := range scan {
+		c.recacheBank(i)
+		if c.vol[i] {
+			next = minTick(next, c.bankNext[i])
+		}
+	}
+	if _, key, ok := c.ready.Min(); ok {
+		next = minTick(next, key)
+	}
+	return next
+}
+
+// recacheBank files bank i after a full (all-phase, non-issuing) evaluation:
+// into the volatile set if it must be re-evaluated every Step, else into the
+// readiness queue under its computed next-action time.
+func (c *Controller) recacheBank(i int) {
+	c.updateVolatility(i)
+	if !c.vol[i] {
+		c.ready.Set(i, c.bankNext[i])
+	}
+}
+
+// issuedDuringScan finishes a Step that issued a command mid-scan. Banks
+// before position keep were evaluated by every phase, and their computed
+// times stay valid lower bounds across the issued command — a command only
+// adds constraints, so it can raise but never lower another bank's
+// next-action time — so they re-cache at their computed readiness. Banks the
+// evaluation never completed for (everything from keep on, plus every bank
+// when the issue happened in the RFM or TRR phase) need no re-arming at all:
+// they still sit in the queue under their collected keys (<= now), so the
+// next Step collects and re-evaluates them — their partial minima are never
+// trusted.
+func (c *Controller) issuedDuringScan(now timing.Tick, keep int) timing.Tick {
+	for _, i := range c.scan[:keep] {
+		if !c.vol[i] {
+			c.recacheBank(i)
+		}
+	}
+	return c.afterCmd(now)
+}
+
+// dirty marks a bank's cached readiness stale as of time at. Called on every
+// event that can LOWER the bank's earliest-actionable time: a request enqueue
+// and any command issued on the bank (ACT/PRE/RD/WR/RFM/REFsb — command issue
+// can queue TRR work, change the open row, or drain RAA). Events that only
+// RAISE times (other banks' ACT/column spacing, all-bank REF, swap blocking)
+// need no invalidation: the cached lower bound stays valid and costs at most
+// one extra behavior-neutral wakeup.
+//
+// The key is set to the event time rather than zero: every future Step runs
+// at now >= at, so the bank is still collected on the very next evaluation,
+// and the shorter sift distance keeps the heap cheap under bursts.
+func (c *Controller) dirty(bank int, at timing.Tick) {
+	if c.ready == nil || bank < 0 || c.vol[bank] {
+		return
+	}
+	// Lower-only: a key already at or below the event time stays put (it is
+	// collected at the next Step either way), skipping the sift entirely.
+	if key, ok := c.ready.Key(bank); !ok || key > at {
+		c.ready.Set(bank, at)
+	}
+}
+
+// liftBusy raises a bank's cached readiness to the end of a device-side
+// busy window (REF/REFsb/RFM): the bank is closed for the whole window, so
+// no command on it can be legal earlier and the lift cannot skip work.
+func (c *Controller) liftBusy(bank int, until timing.Tick) {
+	if c.ready == nil || c.vol[bank] {
+		return
+	}
+	if key, ok := c.ready.Key(bank); ok && key < until {
+		c.ready.Set(bank, until)
+	}
+}
+
+// updateVolatility moves bank i between the cached set and the volatile set
+// after a full (non-issuing) evaluation. A bank is volatile while its ACT is
+// throttle-bound (the policy's allowed-at can move earlier with no bank
+// event) or, under span tracking, while it has any pending work (a global
+// event can change its blame cause, and the timeline must move at the same
+// Step the full rescan would move it).
+func (c *Controller) updateVolatility(i int) {
+	wantVol := c.throttled[i] || (c.spans != nil && !c.bankIdle(i))
+	if wantVol == c.vol[i] {
+		return
+	}
+	c.vol[i] = wantVol
+	if wantVol {
+		c.ready.Remove(i)
+	}
+}
+
+// bankIdle reports that bank i can neither issue a command nor produce a
+// span cause segment: nothing queued, no TRR work, no TRR or closed-page row
+// to close, and no pending RFM obligation. Skipping idle banks is exact —
+// every scheduling phase returns Forever for them without side effects.
+func (c *Controller) bankIdle(i int) bool {
+	b := &c.banks[i]
+	return len(b.queue) == 0 && len(b.trr) == 0 && !b.trrOpen &&
+		!(c.opt.ClosedPage && b.open) &&
+		!(c.p.RAAIMT > 0 && b.raa >= c.p.RAAIMT)
 }
 
 // tryTRR advances a bank's pending MC-side target-row-refreshes: close the
@@ -413,8 +615,10 @@ func (c *Controller) afterCmd(now timing.Tick) timing.Tick {
 	return c.cmdBusFreeAt
 }
 
-// log reports an issued command to the OnCommand hook and the probe.
+// log reports an issued command to the OnCommand hook and the probe. Every
+// issued command is also a cache-invalidation point for its bank.
 func (c *Controller) log(kind CmdKind, bank, row int, at timing.Tick) {
+	c.dirty(bank, at)
 	if c.opt.OnCommand != nil {
 		c.opt.OnCommand(Cmd{Kind: kind, Bank: bank, Row: row, At: at})
 	}
@@ -669,6 +873,11 @@ func (c *Controller) issueColumn(now timing.Tick, i int, req *Request, idx int) 
 	b := &c.banks[i]
 	b.colsSinceAct++
 	b.queue = append(b.queue[:idx], b.queue[idx+1:]...)
+	if b.actFor == req {
+		// Drop the served request's pointer: callers may recycle Request
+		// objects, and a stale actFor must never match a reused one.
+		b.actFor = nil
+	}
 	c.spans.Complete(req.Span, now, req.Done)
 	c.spans.SetCause(i, now, span.CauseService)
 	if c.opt.OnComplete != nil {
@@ -705,6 +914,11 @@ func (c *Controller) actReadyAt(now timing.Tick, i, physRow int) (timing.Tick, s
 	if r := c.mc.ACTAllowedAt(i, physRow, t); r > t {
 		t = r
 		cause = span.CauseThrottle
+		// A throttle-bound readiness cannot be cached: the policy may allow
+		// the ACT earlier after an epoch rotation, with no bank event.
+		if c.throttled != nil {
+			c.throttled[i] = true
+		}
 	}
 	// Hold ACTs when the RAA counter is at its maximum.
 	if c.p.RAAIMT > 0 && c.banks[i].raa >= c.p.RAAMMT {

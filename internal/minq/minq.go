@@ -1,0 +1,157 @@
+// Package minq provides an indexed min-priority queue over a fixed universe
+// of integer indices [0, n), keyed by timing.Tick. It backs the memory
+// controller's per-bank readiness cache: each bank carries its earliest
+// possibly-actionable tick, and the scheduler pops only the banks whose tick
+// has arrived instead of rescanning every bank on every Step.
+//
+// The queue is a classic indexed binary heap: Set (insert or re-key), Remove,
+// Min, and Pop are all O(log n); Key and Contains are O(1). Ties break toward
+// the lower index, so the pop order is a pure function of the key assignment
+// and never depends on insertion history — a requirement for the simulator's
+// same-seed determinism guarantee (two runs issuing identical Set sequences
+// must observe identical Min/Pop sequences).
+//
+// The zero-allocation guarantee matters as much as the asymptotics: every
+// operation works in the three arrays allocated by New, so the controller's
+// hot path stays free of per-Step allocations.
+package minq
+
+import "shadow/internal/timing"
+
+// Queue is an indexed min-priority queue over indices [0, n). The zero value
+// is not usable; call New.
+type Queue struct {
+	keys []timing.Tick
+	heap []int // heap[j] is the index stored at heap position j
+	pos  []int // pos[i] is i's heap position, or -1 when absent
+}
+
+// New builds an empty queue over the index universe [0, n).
+func New(n int) *Queue {
+	q := &Queue{
+		keys: make([]timing.Tick, n),
+		heap: make([]int, 0, n),
+		pos:  make([]int, n),
+	}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	return q
+}
+
+// Len returns the number of indices currently queued.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Cap returns the size of the index universe.
+func (q *Queue) Cap() int { return len(q.pos) }
+
+// Contains reports whether index i is queued.
+func (q *Queue) Contains(i int) bool { return q.pos[i] >= 0 }
+
+// Key returns index i's key; ok is false when i is not queued.
+func (q *Queue) Key(i int) (key timing.Tick, ok bool) {
+	if q.pos[i] < 0 {
+		return 0, false
+	}
+	return q.keys[i], true
+}
+
+// Set inserts index i with the given key, or re-keys it if already queued.
+func (q *Queue) Set(i int, key timing.Tick) {
+	if q.pos[i] >= 0 {
+		old := q.keys[i]
+		q.keys[i] = key
+		switch {
+		case key < old:
+			q.up(q.pos[i])
+		case key > old:
+			q.down(q.pos[i])
+		}
+		return
+	}
+	q.keys[i] = key
+	q.pos[i] = len(q.heap)
+	q.heap = append(q.heap, i)
+	q.up(q.pos[i])
+}
+
+// Remove deletes index i from the queue; removing an absent index is a no-op.
+func (q *Queue) Remove(i int) {
+	p := q.pos[i]
+	if p < 0 {
+		return
+	}
+	last := len(q.heap) - 1
+	q.swap(p, last)
+	q.heap = q.heap[:last]
+	q.pos[i] = -1
+	if p < last {
+		q.down(p)
+		q.up(p)
+	}
+}
+
+// Min returns the queued index with the smallest key (ties toward the lower
+// index) without removing it; ok is false when the queue is empty.
+func (q *Queue) Min() (i int, key timing.Tick, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	i = q.heap[0]
+	return i, q.keys[i], true
+}
+
+// Pop removes and returns the queued index with the smallest key.
+func (q *Queue) Pop() (i int, key timing.Tick, ok bool) {
+	i, key, ok = q.Min()
+	if ok {
+		q.Remove(i)
+	}
+	return i, key, ok
+}
+
+// less orders heap positions by (key, index): ties break toward the lower
+// index so pop order is independent of insertion history.
+func (q *Queue) less(a, b int) bool {
+	ia, ib := q.heap[a], q.heap[b]
+	if q.keys[ia] != q.keys[ib] {
+		return q.keys[ia] < q.keys[ib]
+	}
+	return ia < ib
+}
+
+func (q *Queue) swap(a, b int) {
+	q.heap[a], q.heap[b] = q.heap[b], q.heap[a]
+	q.pos[q.heap[a]] = a
+	q.pos[q.heap[b]] = b
+}
+
+func (q *Queue) up(p int) {
+	for p > 0 {
+		parent := (p - 1) / 2
+		if !q.less(p, parent) {
+			return
+		}
+		q.swap(p, parent)
+		p = parent
+	}
+}
+
+func (q *Queue) down(p int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*p+1, 2*p+2
+		smallest := p
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == p {
+			return
+		}
+		q.swap(p, smallest)
+		p = smallest
+	}
+}

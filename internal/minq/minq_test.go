@@ -1,0 +1,181 @@
+package minq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"shadow/internal/timing"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New(4)
+	if q.Len() != 0 || q.Cap() != 4 {
+		t.Fatalf("Len=%d Cap=%d, want 0,4", q.Len(), q.Cap())
+	}
+	if _, _, ok := q.Min(); ok {
+		t.Fatal("Min on empty queue reported ok")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+	if q.Contains(2) {
+		t.Fatal("empty queue Contains(2)")
+	}
+	if _, ok := q.Key(2); ok {
+		t.Fatal("empty queue Key(2) reported ok")
+	}
+	q.Remove(3) // absent removal must be a no-op
+	if q.Len() != 0 {
+		t.Fatalf("Len=%d after no-op Remove, want 0", q.Len())
+	}
+}
+
+func TestSetUpdateAndPopOrder(t *testing.T) {
+	q := New(8)
+	q.Set(3, 30)
+	q.Set(1, 10)
+	q.Set(5, 20)
+	q.Set(7, 40)
+	if i, k, _ := q.Min(); i != 1 || k != 10 {
+		t.Fatalf("Min=(%d,%d), want (1,10)", i, k)
+	}
+
+	// Re-key down and up.
+	q.Set(7, 5)
+	if i, k, _ := q.Min(); i != 7 || k != 5 {
+		t.Fatalf("after re-key down Min=(%d,%d), want (7,5)", i, k)
+	}
+	q.Set(7, 35)
+	if i, k, _ := q.Min(); i != 1 || k != 10 {
+		t.Fatalf("after re-key up Min=(%d,%d), want (1,10)", i, k)
+	}
+	if k, ok := q.Key(7); !ok || k != 35 {
+		t.Fatalf("Key(7)=(%d,%v), want (35,true)", k, ok)
+	}
+
+	wantOrder := []int{1, 5, 3, 7}
+	for n, want := range wantOrder {
+		i, _, ok := q.Pop()
+		if !ok || i != want {
+			t.Fatalf("pop %d = (%d,%v), want index %d", n, i, ok, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len=%d after draining, want 0", q.Len())
+	}
+}
+
+func TestTieBreakByIndex(t *testing.T) {
+	// All keys equal: pop order must be ascending index regardless of the
+	// insertion order, so scheduling never depends on heap history.
+	ins := []int{6, 2, 9, 0, 4, 7, 1}
+	q := New(10)
+	for _, i := range ins {
+		q.Set(i, 100)
+	}
+	want := append([]int(nil), ins...)
+	sort.Ints(want)
+	for n, w := range want {
+		i, k, ok := q.Pop()
+		if !ok || i != w || k != 100 {
+			t.Fatalf("pop %d = (%d,%d,%v), want (%d,100,true)", n, i, k, ok, w)
+		}
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	q := New(6)
+	for i := 0; i < 6; i++ {
+		q.Set(i, timing.Tick(10*i))
+	}
+	q.Remove(2)
+	q.Remove(0)
+	if q.Contains(2) || q.Contains(0) {
+		t.Fatal("removed indices still reported present")
+	}
+	want := []int{1, 3, 4, 5}
+	for n, w := range want {
+		i, _, ok := q.Pop()
+		if !ok || i != w {
+			t.Fatalf("pop %d = (%d,%v), want %d", n, i, ok, w)
+		}
+	}
+}
+
+// TestAgainstReference drives the queue with random Set/Remove/Pop against a
+// brute-force model and checks every observable after every operation.
+func TestAgainstReference(t *testing.T) {
+	const n = 16
+	rnd := rand.New(rand.NewSource(12345))
+	q := New(n)
+	model := make(map[int]timing.Tick)
+
+	modelMin := func() (int, timing.Tick, bool) {
+		best, bestKey, ok := -1, timing.Tick(0), false
+		for i := 0; i < n; i++ {
+			k, present := model[i]
+			if !present {
+				continue
+			}
+			if !ok || k < bestKey || (k == bestKey && i < best) {
+				best, bestKey, ok = i, k, true
+			}
+		}
+		return best, bestKey, ok
+	}
+
+	for step := 0; step < 20000; step++ {
+		i := rnd.Intn(n)
+		switch op := rnd.Intn(4); op {
+		case 0, 1:
+			k := timing.Tick(rnd.Intn(50))
+			q.Set(i, k)
+			model[i] = k
+		case 2:
+			q.Remove(i)
+			delete(model, i)
+		case 3:
+			gi, gk, gok := q.Pop()
+			wi, wk, wok := modelMin()
+			if gok != wok || (gok && (gi != wi || gk != wk)) {
+				t.Fatalf("step %d: Pop=(%d,%d,%v), want (%d,%d,%v)", step, gi, gk, gok, wi, wk, wok)
+			}
+			if gok {
+				delete(model, gi)
+			}
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("step %d: Len=%d, model has %d", step, q.Len(), len(model))
+		}
+		gi, gk, gok := q.Min()
+		wi, wk, wok := modelMin()
+		if gok != wok || (gok && (gi != wi || gk != wk)) {
+			t.Fatalf("step %d: Min=(%d,%d,%v), want (%d,%d,%v)", step, gi, gk, gok, wi, wk, wok)
+		}
+		for j := 0; j < n; j++ {
+			_, present := model[j]
+			if q.Contains(j) != present {
+				t.Fatalf("step %d: Contains(%d)=%v, model %v", step, j, q.Contains(j), present)
+			}
+		}
+	}
+}
+
+func TestOperationsDoNotAllocate(t *testing.T) {
+	q := New(32)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.Set(i, timing.Tick(31-i))
+		}
+		for i := 0; i < 16; i++ {
+			q.Remove(i * 2)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AllocsPerRun=%v, want 0", allocs)
+	}
+}

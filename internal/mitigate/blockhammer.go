@@ -17,6 +17,12 @@ import (
 type BlockHammer struct {
 	cfg BlockHammerConfig
 
+	// blThreshold and thDelay cache blacklistThreshold/throttleDelay, which
+	// depend only on the fixed config but sit on the controller's per-ACT
+	// scheduling path.
+	blThreshold uint32
+	thDelay     timing.Tick
+
 	banks map[int]*bhBank
 
 	probe          *obs.Probe
@@ -58,7 +64,10 @@ func NewBlockHammer(cfg BlockHammerConfig) *BlockHammer {
 	if cfg.Hashes == 0 {
 		cfg.Hashes = 4
 	}
-	return &BlockHammer{cfg: cfg, banks: make(map[int]*bhBank)}
+	bh := &BlockHammer{cfg: cfg, banks: make(map[int]*bhBank)}
+	bh.blThreshold = bh.computeBlacklistThreshold()
+	bh.thDelay = bh.computeThrottleDelay()
+	return bh
 }
 
 // Name implements MCSide.
@@ -92,9 +101,9 @@ func (bh *BlockHammer) effectiveHCnt() float64 {
 	return float64(bh.cfg.Hammer.HCnt) / bh.cfg.Hammer.WSum()
 }
 
-// blacklistThreshold is half the effective budget, per the BlockHammer
-// design (N_BL = n_RH*/2).
-func (bh *BlockHammer) blacklistThreshold() uint32 {
+// computeBlacklistThreshold is half the effective budget, per the
+// BlockHammer design (N_BL = n_RH*/2). Cached as blThreshold.
+func (bh *BlockHammer) computeBlacklistThreshold() uint32 {
 	t := uint32(bh.effectiveHCnt() / 2)
 	if t < 1 {
 		t = 1
@@ -102,16 +111,20 @@ func (bh *BlockHammer) blacklistThreshold() uint32 {
 	return t
 }
 
-// throttleDelay spreads a blacklisted row's remaining budget over the rest
-// of the window: with at most (H* - N_BL) ACTs allowed in up to a full
+// computeThrottleDelay spreads a blacklisted row's remaining budget over the
+// rest of the window: with at most (H* - N_BL) ACTs allowed in up to a full
 // refresh window, consecutive ACTs must be at least REFW/(H*-N_BL) apart.
-func (bh *BlockHammer) throttleDelay() timing.Tick {
-	budget := bh.effectiveHCnt() - float64(bh.blacklistThreshold())
+// Cached as thDelay.
+func (bh *BlockHammer) computeThrottleDelay() timing.Tick {
+	budget := bh.effectiveHCnt() - float64(bh.computeBlacklistThreshold())
 	if budget < 1 {
 		budget = 1
 	}
 	return timing.Tick(float64(bh.cfg.REFW) / budget)
 }
+
+func (bh *BlockHammer) blacklistThreshold() uint32 { return bh.blThreshold }
+func (bh *BlockHammer) throttleDelay() timing.Tick { return bh.thDelay }
 
 func (bh *BlockHammer) rotate(b *bhBank, now timing.Tick) {
 	for now-b.epochStart >= bh.cfg.REFW/2 {

@@ -293,6 +293,11 @@ type Tracker struct {
 	busy     []busyNote
 	agg      Aggregate
 	spans    []*Span
+	// free recycles spans dropped past the retention cap: once retention is
+	// full every new span is aggregate-only, so Start can reuse the dropped
+	// object (after a whole-struct reset) instead of allocating — the span
+	// path of a long run reaches a zero-allocation steady state.
+	free []*Span
 	// lanes assigns completed spans to per-core Perfetto rows: a request
 	// takes the first lane free at its enqueue time, so concurrent requests
 	// render as parallel flame rows.
@@ -379,7 +384,14 @@ func (t *Tracker) Start(core, bank, row int, write bool, now timing.Tick) *Span 
 	if t == nil {
 		return nil
 	}
-	sp := &Span{
+	var sp *Span
+	if n := len(t.free); n > 0 {
+		sp = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		sp = &Span{}
+	}
+	*sp = Span{
 		Core: core, Bank: bank, Row: row, Write: write,
 		FirstAttempt: now, Enqueue: now,
 	}
@@ -402,10 +414,12 @@ func (t *Tracker) Complete(sp *Span, cas, done timing.Tick) {
 	sp.CAS, sp.Done = cas, done
 	sp.RowHit = sp.ACT == 0
 	t.agg.add(sp)
+	recycle := false
 	if len(t.spans) < t.maxSpans {
 		t.spans = append(t.spans, sp)
 	} else {
 		t.agg.Dropped++
+		recycle = true
 	}
 	if t.probe != nil {
 		t.probe.Emit(obs.Event{
@@ -416,6 +430,12 @@ func (t *Tracker) Complete(sp *Span, cas, done timing.Tick) {
 			Aux:   int64(sp.StallTotal()),
 			Label: "req:" + sp.Blame().String(),
 		})
+	}
+	if recycle {
+		// Recycle only after the probe has read the span; the caller's
+		// Request no longer references it (requests reset their Span
+		// pointer when recycled themselves).
+		t.free = append(t.free, sp)
 	}
 }
 

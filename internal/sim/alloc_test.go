@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+
+	"shadow/internal/dram"
+	"shadow/internal/hammer"
+	"shadow/internal/memctrl"
+	"shadow/internal/shadow"
+	"shadow/internal/timing"
+	"shadow/internal/trace"
+)
+
+// The perf contract of the event-driven scheduler is a zero-allocation
+// steady state: once the Request slab, completion queue, and per-bank
+// readiness structures are warm, neither the simulator's issue/retire loop
+// nor Controller.Step may touch the heap. These tests pin that with
+// testing.AllocsPerRun so a regression (a stray append past capacity, a
+// recycled object escaping, a map in the hot path) fails CI rather than
+// silently costing GC time.
+
+// steadyRunner builds a runner and pumps it past warmup so pools and queue
+// capacities have reached their high-water marks.
+func steadyRunner(t *testing.T, p *timing.Params, mit dram.Mitigator) *runner {
+	t.Helper()
+	g := smallGeo()
+	profiles := trace.MixHigh(2)
+	for i := range profiles {
+		profiles[i].WorkingSetRows = 1 << 10
+	}
+	r, err := newRunner(Config{
+		Params:    p,
+		Geometry:  g,
+		Hammer:    hammer.Config{HCnt: 1 << 20, BlastRadius: 3},
+		DeviceMit: mit,
+		Workload:  trace.Generators(profiles, g, 42),
+		Duration:  timing.Second, // far beyond what the test ever simulates
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past several refresh intervals so REF scheduling, bank queue
+	// growth, and the free-list round trip have all happened at least once.
+	for r.now < 30*timing.Microsecond {
+		r.tick()
+	}
+	return r
+}
+
+func TestTickDoesNotAllocate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *timing.Params
+		mit  func() dram.Mitigator
+	}{
+		{name: "baseline", p: baseParams(), mit: func() dram.Mitigator { return nil }},
+		{name: "shadow", p: shadowParams(64), mit: func() dram.Mitigator {
+			return shadow.New(shadow.Options{Seed: 99})
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := steadyRunner(t, tc.p, tc.mit())
+			if avg := testing.AllocsPerRun(2000, r.tick); avg != 0 {
+				t.Errorf("runner.tick allocates %.3f objects/op in steady state; want 0", avg)
+			}
+		})
+	}
+}
+
+func TestControllerStepDoesNotAllocate(t *testing.T) {
+	p := baseParams()
+	dev, err := dram.NewDevice(dram.Config{
+		Geometry: dram.TestGeometry(),
+		Params:   p,
+		Hammer:   hammer.Config{HCnt: 1 << 20, BlastRadius: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := memctrl.New(dev, memctrl.Options{ClosedPage: true})
+
+	// Single-request hammer loop (the attack runner's shape): one recycled
+	// Request, every access a fresh activation.
+	var reqStore memctrl.Request
+	pat := &trace.SingleSided{Bank: 0, Row: 16}
+	now := timing.Tick(0)
+	var cur *memctrl.Request
+	iter := func() {
+		if cur == nil || cur.Done > 0 {
+			if cur != nil && cur.Done > now {
+				now = cur.Done
+			}
+			bank, row := pat.NextRow()
+			cur = &reqStore
+			*cur = memctrl.Request{Bank: bank, Row: row, Arrive: now}
+			if !mc.Enqueue(cur) {
+				t.Fatal("enqueue failed")
+			}
+		}
+		next := mc.Step(now)
+		if next > now {
+			if cur != nil && cur.Done > 0 && cur.Done < next {
+				next = cur.Done
+			}
+			now = next
+		}
+	}
+	// Warm up through a few refresh intervals.
+	for now < 30*timing.Microsecond {
+		iter()
+	}
+	if avg := testing.AllocsPerRun(2000, iter); avg != 0 {
+		t.Errorf("Enqueue+Step allocates %.3f objects/op in steady state; want 0", avg)
+	}
+}

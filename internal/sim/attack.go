@@ -31,6 +31,9 @@ type AttackConfig struct {
 	// Probe, when set, threads shadowscope instrumentation through the
 	// controller, device, and mitigation schemes.
 	Probe *obs.Probe
+	// FullRescan runs the controller with the pre-event-driven full-rescan
+	// scheduler (see memctrl.Options.FullRescan); equivalence testing only.
+	FullRescan bool
 }
 
 // AttackResult reports the outcome.
@@ -76,8 +79,14 @@ func RunAttack(cfg AttackConfig, pat trace.Pattern) (*AttackResult, error) {
 		return nil, err
 	}
 
+	// The attacker keeps one access in flight, so a single Request object is
+	// recycled for the whole run (whole-struct reset per access).
+	var reqStore memctrl.Request
 	var cur *memctrl.Request
-	mc := memctrl.New(dev, memctrl.Options{MCSide: cfg.MCSide, ClosedPage: true, Probe: cfg.Probe})
+	mc := memctrl.New(dev, memctrl.Options{
+		MCSide: cfg.MCSide, ClosedPage: true, Probe: cfg.Probe,
+		FullRescan: cfg.FullRescan,
+	})
 
 	res := &AttackResult{Device: dev}
 	now := timing.Tick(0)
@@ -93,7 +102,8 @@ func RunAttack(cfg AttackConfig, pat trace.Pattern) (*AttackResult, error) {
 				break
 			}
 			bank, row := pat.NextRow()
-			cur = &memctrl.Request{Bank: bank, Row: row, Arrive: now}
+			cur = &reqStore
+			*cur = memctrl.Request{Bank: bank, Row: row, Arrive: now}
 			if !mc.Enqueue(cur) {
 				return nil, fmt.Errorf("sim: attack enqueue failed")
 			}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"shadow/internal/dram"
+	"shadow/internal/hammer"
+	"shadow/internal/memctrl"
+	"shadow/internal/mitigate"
+	"shadow/internal/obs/span"
+	"shadow/internal/report"
+	"shadow/internal/shadow"
+	"shadow/internal/timing"
+	"shadow/internal/trace"
+)
+
+// The event-driven scheduler (per-bank readiness cache + min-queue) must be
+// behaviorally invisible: for every mitigation scheme, every seed, and every
+// observation mode, a run with Config.FullRescan (the pre-optimization
+// scheduler, kept compiled exactly for this test) and a run without it must
+// produce bit-identical statistics, DRAM command streams, flip records, and
+// span blame tables. Any divergence means a cache-invalidation rule is
+// missing and the optimization changed simulated behavior, not just speed.
+
+// equivScheme builds one protection configuration. Constructors are funcs so
+// each run gets fresh mitigation state (trackers, CSPRNGs, Bloom filters).
+type equivScheme struct {
+	name   string
+	params func() *timing.Params
+	dev    func(seed uint64) dram.Mitigator
+	mc     func(p *timing.Params, seed uint64) mitigate.MCSide
+	filter func(p *timing.Params) *mitigate.RFMFilter
+}
+
+func equivSchemes() []equivScheme {
+	h := hammer.Config{HCnt: 4096, BlastRadius: 3}
+	rows := smallGeo().PARowsPerBank()
+	return []equivScheme{
+		{name: "none", params: baseParams},
+		{
+			name:   "shadow",
+			params: func() *timing.Params { return shadowParams(64) },
+			dev:    func(seed uint64) dram.Mitigator { return shadow.New(shadow.Options{Seed: seed + 1}) },
+		},
+		{
+			name:   "shadow-filtered",
+			params: func() *timing.Params { return shadowParams(64) },
+			dev:    func(seed uint64) dram.Mitigator { return shadow.New(shadow.Options{Seed: seed + 1}) },
+			filter: func(p *timing.Params) *mitigate.RFMFilter {
+				return mitigate.NewRFMFilter(1024, 4, 16, p.REFW)
+			},
+		},
+		{
+			name:   "parfm",
+			params: func() *timing.Params { return baseParams().WithRAAIMT(32) },
+			dev:    func(seed uint64) dram.Mitigator { return mitigate.NewPARFM(h.BlastRadius, seed+2) },
+		},
+		{
+			name:   "mithril",
+			params: func() *timing.Params { return baseParams().WithRAAIMT(64) },
+			dev:    func(seed uint64) dram.Mitigator { return mitigate.NewMithril(2048, h.BlastRadius) },
+		},
+		{
+			name:   "panopticon",
+			params: func() *timing.Params { return baseParams().WithRAAIMT(64) },
+			dev:    func(seed uint64) dram.Mitigator { return mitigate.NewPanopticon(h.HCnt, h.BlastRadius) },
+		},
+		{
+			name:   "drr",
+			params: func() *timing.Params { return baseParams().WithRefreshScale(2) },
+		},
+		{
+			name:   "blockhammer",
+			params: baseParams,
+			mc: func(p *timing.Params, seed uint64) mitigate.MCSide {
+				return mitigate.NewBlockHammer(mitigate.BlockHammerConfig{
+					Hammer: h, REFW: p.REFW, Seed: seed + 3,
+				})
+			},
+		},
+		{
+			name:   "rrs",
+			params: baseParams,
+			mc: func(p *timing.Params, seed uint64) mitigate.MCSide {
+				return mitigate.NewRRS(mitigate.RRSConfig{
+					SwapThreshold: int64(h.HCnt / 6),
+					RowsPerBank:   rows,
+					REFW:          p.REFW,
+					Seed:          seed + 4,
+				})
+			},
+		},
+		{
+			name:   "graphene",
+			params: baseParams,
+			mc: func(p *timing.Params, seed uint64) mitigate.MCSide {
+				return mitigate.NewGraphene(mitigate.GrapheneConfig{
+					Hammer: h, RowsPerBank: rows, REFW: p.REFW,
+				})
+			},
+		},
+		{
+			name:   "para",
+			params: baseParams,
+			mc: func(p *timing.Params, seed uint64) mitigate.MCSide {
+				return mitigate.NewPARA(h, rows, seed+5)
+			},
+		},
+	}
+}
+
+// equivView is the full observable surface of one run: the determinism-test
+// statsView plus a hash of every DRAM command the controller issued (kind,
+// bank, row, tick) and the rendered blame table when spans are attached.
+type equivView struct {
+	Duration timing.Tick
+	Insts    []int64
+	IPC      []float64
+	MC       memctrl.Stats
+	Dev      dram.BankStats
+	Flips    int
+	Records  []dram.FlipRecord
+	Scrub    dram.ScrubReport
+	CmdHash  uint64
+	Blame    string
+}
+
+func runEquiv(t *testing.T, sc equivScheme, seed uint64, spans, fullRescan bool) equivView {
+	t.Helper()
+	p := sc.params()
+	g := smallGeo()
+	profiles := trace.MixHigh(2)
+	for i := range profiles {
+		profiles[i].WorkingSetRows = 1 << 10
+	}
+	var dev dram.Mitigator
+	if sc.dev != nil {
+		dev = sc.dev(seed)
+	}
+	var mcside mitigate.MCSide
+	if sc.mc != nil {
+		mcside = sc.mc(p, seed)
+	}
+	var filter *mitigate.RFMFilter
+	if sc.filter != nil {
+		filter = sc.filter(p)
+	}
+	var col *span.Collector
+	if spans {
+		col = span.NewCollector(4096)
+	}
+	cmdHash := fnv.New64a()
+	res, err := Run(Config{
+		Params:    p,
+		Geometry:  g,
+		Hammer:    hammer.Config{HCnt: 4096, BlastRadius: 3},
+		DeviceMit: dev,
+		MCSide:    mcside,
+		RFMFilter: filter,
+		Workload:  trace.Generators(profiles, g, seed),
+		Duration:  60 * timing.Microsecond,
+		Spans:     col,
+		OnCommand: func(ch int, cmd memctrl.Cmd) {
+			fmt.Fprintf(cmdHash, "%d %d %d %d %d\n", ch, cmd.Kind, cmd.Bank, cmd.Row, cmd.At)
+		},
+		FullRescan: fullRescan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := equivView{
+		Duration: res.Duration,
+		Insts:    res.Insts,
+		IPC:      res.IPC,
+		MC:       res.MC,
+		Dev:      res.Dev,
+		Flips:    res.Flips,
+		Records:  res.Device.Flips(),
+		Scrub:    res.Device.Scrub(),
+		CmdHash:  cmdHash.Sum64(),
+	}
+	if col != nil {
+		v.Blame = string(report.BlameJSON([]report.BlameRow{{Label: sc.name, Agg: col.Aggregate()}}))
+	}
+	return v
+}
+
+// TestSchedulerEquivalence is the bit-identity gate for the event-driven
+// scheduler: every scheme, three seeds, statistics + command stream.
+func TestSchedulerEquivalence(t *testing.T) {
+	for _, sc := range equivSchemes() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for _, seed := range []uint64{42, 7, 1234} {
+				old := runEquiv(t, sc, seed, false, true)
+				new_ := runEquiv(t, sc, seed, false, false)
+				if !reflect.DeepEqual(old, new_) {
+					t.Errorf("seed %d: event-driven scheduler diverged from full rescan:\n rescan: %+v\n event:  %+v",
+						seed, old, new_)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerEquivalenceWithSpans repeats the check with shadowtap span
+// tracking attached: stall-cause attribution must blame identical causes for
+// identical durations under both schedulers (this is what forces non-idle
+// banks to stay volatile in the readiness cache — a cached bank could
+// otherwise miss a blame-cause transition driven by another bank's command).
+func TestSchedulerEquivalenceWithSpans(t *testing.T) {
+	for _, sc := range equivSchemes() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			old := runEquiv(t, sc, 42, true, true)
+			new_ := runEquiv(t, sc, 42, true, false)
+			if old.Blame == "" || new_.Blame == "" {
+				t.Fatal("span run produced no blame table")
+			}
+			if !reflect.DeepEqual(old, new_) {
+				diff := ""
+				if old.Blame != new_.Blame {
+					diff = fmt.Sprintf("\n blame rescan: %s\n blame event:  %s", old.Blame, new_.Blame)
+				}
+				t.Errorf("span-tracked run diverged:\n rescan: %+v\n event:  %+v%s", old, new_, diff)
+			}
+		})
+	}
+}
+
+// TestSchedulerEquivalenceAttack covers the attack runner: a single-request
+// closed-page hammer loop against both an unprotected and a SHADOW-protected
+// device must observe identical activation counts, flips, and controller
+// stats under both schedulers.
+func TestSchedulerEquivalenceAttack(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *timing.Params
+		dev  func() dram.Mitigator
+		pat  func() trace.Pattern
+	}{
+		{
+			name: "unprotected-double-sided",
+			p:    baseParams(),
+			dev:  func() dram.Mitigator { return nil },
+			pat:  func() trace.Pattern { return &trace.DoubleSided{Bank: 0, Victim: 16} },
+		},
+		{
+			name: "shadow-single-sided",
+			p:    shadowParams(16),
+			dev:  func() dram.Mitigator { return shadow.New(shadow.Options{Seed: 3}) },
+			pat:  func() trace.Pattern { return &trace.SingleSided{Bank: 0, Row: 16} },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(fullRescan bool) ([]byte, *AttackResult) {
+				res, err := RunAttack(AttackConfig{
+					Params:     tc.p,
+					Geometry:   dram.TestGeometry(),
+					Hammer:     hammer.Config{HCnt: 512, BlastRadius: 3},
+					DeviceMit:  tc.dev(),
+					MaxActs:    8192,
+					FullRescan: fullRescan,
+				}, tc.pat())
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := []byte(fmt.Sprintf("%d %d %d %+v %+v",
+					res.Acts, res.Flips, res.Elapsed, res.MC, res.Device.Flips()))
+				return sum, res
+			}
+			oldSum, oldRes := run(true)
+			newSum, _ := run(false)
+			if !bytes.Equal(oldSum, newSum) {
+				t.Errorf("attack run diverged:\n rescan: %s\n event:  %s", oldSum, newSum)
+			}
+			if oldRes.Acts == 0 {
+				t.Fatal("attack issued no activations; equivalence check is vacuous")
+			}
+		})
+	}
+}

@@ -91,6 +91,10 @@ type Config struct {
 	Progress func(now timing.Tick)
 	// ProgressEvery is the Progress callback period (default Duration/100).
 	ProgressEvery timing.Tick
+	// FullRescan runs every channel's controller with the pre-event-driven
+	// full-rescan scheduler (see memctrl.Options.FullRescan). Exists for the
+	// scheduler-equivalence regression test.
+	FullRescan bool
 }
 
 // Result summarizes a run.
@@ -124,8 +128,47 @@ type core struct {
 	backoffAt timing.Tick
 }
 
-// Run executes the simulation.
-func Run(cfg Config) (*Result, error) {
+// completion is one outstanding miss awaiting retirement: the core to
+// credit and the time its data returns.
+type completion struct {
+	core int
+	at   timing.Tick
+}
+
+// runner holds the hot-loop state of one simulation. The per-iteration work
+// lives in tick() — factored out of Run so the allocation regression test
+// can pump a steady-state runner directly and pin the loop to 0 allocs.
+type runner struct {
+	cfg     *Config
+	cores   []*core
+	mc      *memsys.System
+	devices []*dram.Device
+
+	inflight []completion
+	// nextDone is the earliest completion time in inflight (Forever when
+	// empty): maintained by onComplete on insert and recomputed by the retire
+	// pass, so the advance phase never rescans the inflight list.
+	nextDone timing.Tick
+	// freeReqs recycles Request objects. A request is recyclable as soon as
+	// its column command issues (OnComplete): the controller has dequeued it
+	// and the simulator tracks only the (core, done) pair. Live requests are
+	// bounded by cores×MSHR, so the pre-filled slab makes the steady-state
+	// issue path allocation-free. Recycled requests are reset by whole-struct
+	// assignment, clearing stale Span pointers before reuse.
+	freeReqs []*memctrl.Request
+	reqSlab  []memctrl.Request
+
+	instSeries *obs.Series
+	progEvery  timing.Tick
+	nextProg   timing.Tick
+	now        timing.Tick
+}
+
+// newRunner validates cfg, applies defaults, and builds the cores,
+// controllers, devices, and recycling pools for one run. Split from Run so
+// the allocation regression test can pump a steady-state runner's tick()
+// under testing.AllocsPerRun.
+func newRunner(cfg Config) (*runner, error) {
 	if cfg.Params == nil {
 		return nil, fmt.Errorf("sim: Params required")
 	}
@@ -168,14 +211,22 @@ func Run(cfg Config) (*Result, error) {
 		cores[i].fetch(cfg.InstPerNS, 0)
 	}
 
-	// Completion queue: (coreID, doneAt) pairs, unsorted (small).
-	type completion struct {
-		core int
-		at   timing.Tick
+	r := &runner{cfg: &cfg, cores: cores}
+	r.reqSlab = make([]memctrl.Request, len(cores)*cfg.MSHR)
+	r.freeReqs = make([]*memctrl.Request, 0, len(r.reqSlab))
+	for i := range r.reqSlab {
+		r.freeReqs = append(r.freeReqs, &r.reqSlab[i])
 	}
-	var inflight []completion
-	onComplete := func(r *memctrl.Request) {
-		inflight = append(inflight, completion{core: r.Core, at: r.Done})
+	r.inflight = make([]completion, 0, len(r.reqSlab))
+	r.nextDone = timing.Forever
+	// Completion queue: (coreID, doneAt) pairs, unsorted (small). The
+	// completed request goes straight back on the free list.
+	onComplete := func(req *memctrl.Request) {
+		r.inflight = append(r.inflight, completion{core: req.Core, at: req.Done})
+		if req.Done < r.nextDone {
+			r.nextDone = req.Done
+		}
+		r.freeReqs = append(r.freeReqs, req)
 	}
 
 	ctls := make([]*memctrl.Controller, channels)
@@ -223,133 +274,67 @@ func Run(cfg Config) (*Result, error) {
 			OnCommand:  onCmd,
 			Probe:      chProbe,
 			Spans:      spanTr,
+			FullRescan: cfg.FullRescan,
 		})
 	}
 	mc, err := memsys.New(ctls)
 	if err != nil {
 		return nil, err
 	}
+	r.mc = mc
+	r.devices = devices
 
-	instSeries := cfg.Probe.Series("sim/insts")
-	progEvery := cfg.ProgressEvery
-	if progEvery <= 0 {
-		progEvery = cfg.Duration / 100
+	r.instSeries = cfg.Probe.Series("sim/insts")
+	r.progEvery = cfg.ProgressEvery
+	if r.progEvery <= 0 {
+		r.progEvery = cfg.Duration / 100
 	}
-	if progEvery <= 0 {
-		progEvery = 1
+	if r.progEvery <= 0 {
+		r.progEvery = 1
 	}
-	nextProg := progEvery
+	r.nextProg = r.progEvery
+	return r, nil
+}
 
-	now := timing.Tick(0)
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Defaults were applied to the runner's copy of the config.
+	rcfg := r.cfg
+
 	var warmInsts []int64
 	var warmMC memctrl.Stats
 	warmTaken := false
-	for now < cfg.Duration {
-		if !warmTaken && now >= cfg.Warmup && cfg.Warmup > 0 {
+	for r.now < rcfg.Duration {
+		if !warmTaken && r.now >= rcfg.Warmup && rcfg.Warmup > 0 {
 			warmTaken = true
-			warmInsts = make([]int64, len(cores))
-			for i, c := range cores {
+			warmInsts = make([]int64, len(r.cores))
+			for i, c := range r.cores {
 				warmInsts[i] = c.insts
 			}
-			warmMC = mc.Stats()
+			warmMC = r.mc.Stats()
 		}
-		// 1. Retire completions due by now.
-		for i := 0; i < len(inflight); {
-			if inflight[i].at <= now {
-				c := cores[inflight[i].core]
-				c.outstanding--
-				if c.stalled {
-					c.stalled = false
-					if c.nextIssueAt < inflight[i].at {
-						c.nextIssueAt = inflight[i].at
-					}
-				}
-				inflight[i] = inflight[len(inflight)-1]
-				inflight = inflight[:len(inflight)-1]
-			} else {
-				i++
-			}
-		}
-
-		// 2. Cores issue due requests.
-		for id, c := range cores {
-			for !c.stalled && c.nextIssueAt <= now {
-				if c.outstanding >= cfg.MSHR {
-					c.stalled = true
-					break
-				}
-				req := &memctrl.Request{
-					Core:   id,
-					Bank:   c.pending.Bank,
-					Row:    c.pending.Row,
-					Col:    c.pending.Col,
-					Write:  c.pending.Write,
-					Arrive: now,
-				}
-				if !mc.Enqueue(req) {
-					// Bank queue full: retry after a short backoff.
-					if !c.backoff {
-						c.backoff, c.backoffAt = true, now
-					}
-					c.nextIssueAt = now + cfg.Params.TCK*4
-					break
-				}
-				if c.backoff {
-					req.Span.NoteBackpressure(c.backoffAt)
-					c.backoff = false
-				}
-				c.outstanding++
-				c.fetch(cfg.InstPerNS, now)
-				instSeries.Add(now, float64(c.pending.Gap))
-			}
-		}
-
-		// 3. Controllers issue commands available at now.
-		next := timing.Forever
-		for {
-			t := mc.Step(now)
-			if t > now {
-				next = t
-				break
-			}
-		}
-
-		// 4. Advance to the earliest future event.
-		for _, c := range cores {
-			if !c.stalled && c.nextIssueAt > now && c.nextIssueAt < next {
-				next = c.nextIssueAt
-			}
-		}
-		for _, f := range inflight {
-			if f.at > now && f.at < next {
-				next = f.at
-			}
-		}
-		if next <= now {
-			next = now + cfg.Params.TCK
-		}
-		now = next
-		if cfg.Progress != nil && now >= nextProg {
-			cfg.Progress(now)
-			nextProg = now + progEvery
-		}
+		r.tick()
 	}
 
-	measured := cfg.Duration - cfg.Warmup
+	measured := rcfg.Duration - rcfg.Warmup
 	res := &Result{
 		Duration: measured,
-		Insts:    make([]int64, len(cores)),
-		IPC:      make([]float64, len(cores)),
-		MC:       mc.Stats(),
-		Dev:      mc.DeviceStats(),
-		Flips:    mc.FlipCount(),
-		Device:   devices[0],
-		Devices:  devices,
+		Insts:    make([]int64, len(r.cores)),
+		IPC:      make([]float64, len(r.cores)),
+		MC:       r.mc.Stats(),
+		Dev:      r.mc.DeviceStats(),
+		Flips:    r.mc.FlipCount(),
+		Device:   r.devices[0],
+		Devices:  r.devices,
 	}
 	if warmTaken {
-		res.MC = subStats(mc.Stats(), warmMC)
+		res.MC = subStats(r.mc.Stats(), warmMC)
 	}
-	for i, c := range cores {
+	for i, c := range r.cores {
 		res.Insts[i] = c.insts
 		if warmTaken {
 			res.Insts[i] -= warmInsts[i]
@@ -357,6 +342,126 @@ func Run(cfg Config) (*Result, error) {
 		res.IPC[i] = float64(res.Insts[i]) / measured.Nanoseconds()
 	}
 	return res, nil
+}
+
+// tick runs one iteration of the event loop: retire due completions, let
+// cores issue, drain the controllers at the current instant, and advance to
+// the earliest future event. Allocation-free in steady state.
+func (r *runner) tick() {
+	cfg := r.cfg
+	now := r.now
+
+	// 1. Retire completions due by now, recomputing the earliest surviving
+	// completion in the same pass (onComplete keeps it current for inserts).
+	if r.nextDone <= now {
+		nextDone := timing.Forever
+		for i := 0; i < len(r.inflight); {
+			if r.inflight[i].at <= now {
+				c := r.cores[r.inflight[i].core]
+				c.outstanding--
+				if c.stalled {
+					c.stalled = false
+					if c.nextIssueAt < r.inflight[i].at {
+						c.nextIssueAt = r.inflight[i].at
+					}
+				}
+				r.inflight[i] = r.inflight[len(r.inflight)-1]
+				r.inflight = r.inflight[:len(r.inflight)-1]
+			} else {
+				if r.inflight[i].at < nextDone {
+					nextDone = r.inflight[i].at
+				}
+				i++
+			}
+		}
+		r.nextDone = nextDone
+	}
+
+	// 2. Cores issue due requests, recycling Request objects off the free
+	// list (whole-struct reset: a recycled request must not leak its old
+	// Span pointer or channel-rewritten bank index into the new attempt).
+	// Each core's next wake-up is folded into coreNext as its issue loop
+	// ends — core state never changes after its own iteration, so the
+	// advance phase needs no second scan.
+	coreNext := timing.Forever
+	for id, c := range r.cores {
+		for !c.stalled && c.nextIssueAt <= now {
+			if c.outstanding >= cfg.MSHR {
+				c.stalled = true
+				break
+			}
+			req := r.getReq()
+			*req = memctrl.Request{
+				Core:   id,
+				Bank:   c.pending.Bank,
+				Row:    c.pending.Row,
+				Col:    c.pending.Col,
+				Write:  c.pending.Write,
+				Arrive: now,
+			}
+			if !r.mc.Enqueue(req) {
+				// Bank queue full: retry after a short backoff.
+				r.freeReqs = append(r.freeReqs, req)
+				if !c.backoff {
+					c.backoff, c.backoffAt = true, now
+				}
+				c.nextIssueAt = now + cfg.Params.TCK*4
+				break
+			}
+			if c.backoff {
+				req.Span.NoteBackpressure(c.backoffAt)
+				c.backoff = false
+			}
+			c.outstanding++
+			c.fetch(cfg.InstPerNS, now)
+			r.instSeries.Add(now, float64(c.pending.Gap))
+		}
+		if !c.stalled && c.nextIssueAt > now && c.nextIssueAt < coreNext {
+			coreNext = c.nextIssueAt
+		}
+	}
+
+	// 3. Controllers issue commands available at now.
+	next := timing.Forever
+	for {
+		t := r.mc.Step(now)
+		if t > now {
+			next = t
+			break
+		}
+	}
+
+	// 4. Advance to the earliest future event: the controllers' next action,
+	// the earliest unstalled core, or the earliest outstanding completion.
+	if coreNext < next {
+		next = coreNext
+	}
+	if r.nextDone > now && r.nextDone < next {
+		next = r.nextDone
+	}
+	if next <= now {
+		next = now + cfg.Params.TCK
+	}
+	r.now = next
+	if cfg.Progress != nil && r.now >= r.nextProg {
+		cfg.Progress(r.now)
+		// Anchored catch-up: keep the cadence phase-stable across large
+		// event jumps instead of re-basing on the arrival time.
+		for r.nextProg <= r.now {
+			r.nextProg += r.progEvery
+		}
+	}
+}
+
+// getReq pops a recycled Request (the slab bounds live requests at
+// cores×MSHR, so this only allocates if that invariant is ever broken).
+func (r *runner) getReq() *memctrl.Request {
+	if n := len(r.freeReqs); n > 0 {
+		req := r.freeReqs[n-1]
+		r.freeReqs = r.freeReqs[:n-1]
+		return req
+	}
+	return &memctrl.Request{}
 }
 
 // subStats subtracts warmup-phase counters from the final totals.

@@ -39,6 +39,14 @@ go run ./cmd/shadowvet ./internal/obs/span
 echo "==> shadowvet (examples)"
 go run ./cmd/shadowvet ./examples/...
 
+# The event-driven scheduler must stay bit-identical to the retained
+# full-rescan reference for every mitigation scheme (Stats, flips, span
+# blame, command log). The suite runs inside `go test ./...` too; gating it
+# by name keeps the contract visible and the failure mode unambiguous when
+# someone touches the readiness cache.
+echo "==> scheduler equivalence"
+go test -run 'TestSchedulerEquivalence' ./internal/sim/
+
 echo "==> go test -race"
 go test -race ./...
 
