@@ -1,6 +1,6 @@
 # Developer entry points. `make verify` is the full gate every PR must pass.
 
-.PHONY: build test race vet lint fmt bench verify
+.PHONY: build test race race-focused vet lint fmt bench verify
 
 build:
 	go build ./...
@@ -10,6 +10,13 @@ test:
 
 race:
 	go test -race ./...
+
+# The concurrency-focused race lane: just the packages that spawn
+# goroutines (exp sweep workers, the obs inspector). Pairs with the
+# static concurrency analyzers (lockflow/goroleak/sharedflow) in `make
+# lint` — run both when touching anything concurrent.
+race-focused:
+	go test -race ./internal/exp/... ./internal/obs/...
 
 vet:
 	go vet ./...

@@ -115,6 +115,7 @@ func main() {
 		}
 		ins.SetSources(src)
 		srv := &http.Server{Addr: *inspect, Handler: ins.Handler()}
+		//shadowvet:ignore goroleak -- process-lifetime HTTP inspector; torn down only when the process exits
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "inspector: %v\n", err)

@@ -245,6 +245,7 @@ func startInspector(addr, label string, rec *obs.Recorder, spans *span.Collector
 	}
 	ins.SetSources(src)
 	srv := &http.Server{Addr: addr, Handler: ins.Handler()}
+	//shadowvet:ignore goroleak -- process-lifetime HTTP inspector; torn down only when the process exits
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "inspector: %v\n", err)

@@ -7,6 +7,7 @@
 //	go run ./cmd/shadowvet ./...
 //	go run ./cmd/shadowvet ./internal/... ./cmd/...
 //	go run ./cmd/shadowvet -json ./... > shadowvet-report.json
+//	go run ./cmd/shadowvet -sarif ./... > shadowvet.sarif
 //	go run ./cmd/shadowvet -list
 //
 // The suite enforces simulator determinism (no wall-clock reads, no global
@@ -14,14 +15,21 @@
 // exhaustive switches over the closed enums (span.Cause, obs.Kind,
 // memctrl.CmdKind, ...), nil-receiver guards on the nil-safe obs hot-path
 // types, the internal/ import DAG, the "<pkg>: ..." panic-message
-// convention, checked errors on DRAM command-issuing methods, and sane
-// sync.Mutex/WaitGroup usage. A finding can be waived with a
-// "//shadowvet:ignore <analyzer> -- reason" comment on or above the
+// convention, checked errors on DRAM command-issuing methods, and the
+// concurrency discipline: no by-value lock copies (locks), every
+// Lock/RLock released on all paths with no double-lock and no blocking
+// under a lock (lockflow, flow-sensitive over the internal/analysis/cfg
+// control-flow graphs), a visible termination signal on every go
+// statement (goroleak), and guarded writes to hot-path simulator state
+// from goroutines or callbacks (sharedflow). A finding can be waived with
+// a "//shadowvet:ignore <analyzer> -- reason" comment on or above the
 // offending line; the driver checks the waivers themselves (a reason is
 // mandatory and a waiver that suppresses nothing is itself a finding).
 //
-// -json emits the findings as a JSON array (empty when clean) on stdout for
-// CI annotation; the human-readable summary stays on stderr. Packages are
+// -json emits the findings as a JSON array (empty when clean) on stdout
+// for CI annotation; -sarif emits a SARIF 2.1.0 log instead, the format
+// code forges ingest for inline review annotations. The two are mutually
+// exclusive. The human-readable summary stays on stderr. Packages are
 // analyzed in parallel; output order is deterministic either way.
 package main
 
@@ -36,11 +44,16 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout (for CI annotation)")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout (for forge annotation)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: shadowvet [-list] [-json] [packages]\n\npackages are go-style patterns (default ./...)\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: shadowvet [-list] [-json|-sarif] [packages]\n\npackages are go-style patterns (default ./...)\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "shadowvet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	analyzers := analysis.All()
 	if *list {
@@ -88,6 +101,11 @@ func main() {
 	})
 	if *jsonOut {
 		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "shadowvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else if *sarifOut {
+		if err := analysis.WriteSARIF(os.Stdout, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "shadowvet: %v\n", err)
 			os.Exit(2)
 		}

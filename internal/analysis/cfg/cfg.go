@@ -1,0 +1,490 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies and runs forward dataflow analyses over them to a
+// fixpoint. Like the rest of shadowvet it is standard library only — a
+// deliberately small reimplementation of the golang.org/x/tools/go/cfg
+// idea, sized for the analyzers this repository needs.
+//
+// A Graph is a set of basic blocks connected by directed edges. Blocks
+// hold the statements (and control-relevant expressions: if/for
+// conditions, switch tags and case expressions, select communication
+// clauses, range subjects) in execution order. Control flow is modeled
+// structurally:
+//
+//   - if/else, for, range, switch (including fallthrough), type switch,
+//     select, labeled break/continue, and goto produce the expected edges;
+//   - return statements and calls that provably terminate the function
+//     (the panic builtin, os.Exit, runtime.Goexit, log.Fatal*, and
+//     testing's Fatal/FailNow/Skip family) edge to the single Exit block;
+//   - an explicit panic therefore reaches Exit, which is exactly where
+//     deferred calls run — analyses that model defer (as part of their
+//     dataflow fact) see panic and return paths uniformly;
+//   - function literals are opaque leaves: their bodies never enter the
+//     enclosing graph and must be analyzed as functions of their own.
+//
+// Statements after a jump land in a block that no edge reaches;
+// Forward leaves such blocks without an input fact, which is how
+// analyzers detect unreachability.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Block is one basic block: a maximal straight-line run of statements
+// and control-relevant expressions, executed in order, with control
+// transferring to exactly one successor afterwards.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// Exit is always last).
+	Index int
+	// Kind names the construct that created the block ("entry", "exit",
+	// "if.then", "for.head", ...) with a ":<label>" suffix on labeled
+	// loops and switches — for tests and dumps, not for analysis logic.
+	Kind string
+	// Nodes are the block's statements and expressions in execution
+	// order. Function literal bodies never appear (they are separate
+	// functions); a RangeStmt node stands for the loop head (subject
+	// evaluation + iteration), not its body.
+	Nodes []ast.Node
+	// Succs and Preds are the block's edges, deduplicated, in creation
+	// order.
+	Succs []*Block
+	Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block execution starts in; it has no predecessors.
+	Entry *Block
+	// Exit is the single synthetic exit block: every return, terminal
+	// call, and fall-off-the-end edge leads here. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block in creation order; Entry is first and
+	// Exit last.
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit)
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return g
+}
+
+// String renders the graph one block per line ("b1 if.then [2 nodes] ->
+// b3 b4") for tests and debugging; output is deterministic.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", b.Index, b.Kind)
+		if len(b.Nodes) > 0 {
+			fmt.Fprintf(&sb, " [%d nodes]", len(b.Nodes))
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// builder threads the current block and the break/continue/goto context
+// through the recursive statement walk.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// breaks and continues are the innermost-last stacks of jump
+	// targets; switches and selects push a break target only.
+	breaks    []ctrlTarget
+	continues []ctrlTarget
+	// labels maps a label name to its block, created on first reference
+	// so forward gotos resolve.
+	labels map[string]*Block
+	// pendingLabel is the label of the labeled statement being built; the
+	// next loop/switch/select consumes it for labeled break/continue.
+	pendingLabel string
+	// fallTargets is the stack of next-case entry blocks for fallthrough
+	// (nil for the last clause of a switch).
+	fallTargets []*Block
+}
+
+// ctrlTarget is one break or continue destination, with the loop or
+// switch label when present.
+type ctrlTarget struct {
+	label string
+	block *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label, returning it and a Kind suffix.
+func (b *builder) takeLabel() (label, suffix string) {
+	label = b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		suffix = ":" + label
+	}
+	return label, suffix
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock("unreachable")
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && Terminates(call) {
+			b.edge(b.cur, b.g.Exit)
+			b.cur = b.newBlock("unreachable")
+		}
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt, DeferStmt,
+		// EmptyStmt: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	lb := b.labelBlock(s.Label.Name)
+	b.edge(b.cur, lb)
+	b.cur = lb
+	b.pendingLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label:" + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, label); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.cur = b.newBlock("unreachable")
+	case token.CONTINUE:
+		if t := findTarget(b.continues, label); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.cur = b.newBlock("unreachable")
+	case token.GOTO:
+		b.edge(b.cur, b.labelBlock(label))
+		b.cur = b.newBlock("unreachable")
+	case token.FALLTHROUGH:
+		if n := len(b.fallTargets); n > 0 && b.fallTargets[n-1] != nil {
+			b.edge(b.cur, b.fallTargets[n-1])
+		}
+		b.cur = b.newBlock("unreachable")
+	}
+}
+
+// findTarget resolves a break/continue: the innermost target when the
+// statement is unlabeled, the matching labeled one otherwise.
+func findTarget(stack []ctrlTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel() // a label on an if only matters for goto, handled already
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+	var elseEnd *Block
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	done := b.newBlock("if.done")
+	b.edge(thenEnd, done)
+	if elseEnd != nil {
+		b.edge(elseEnd, done)
+	} else {
+		b.edge(cond, done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label, suffix := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head" + suffix)
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock("for.body" + suffix)
+	b.edge(head, body)
+	continueTo := head
+	if s.Post != nil {
+		post := b.newBlock("for.post" + suffix)
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		continueTo = post
+	}
+	done := b.newBlock("for.done" + suffix)
+	if s.Cond != nil {
+		b.edge(head, done)
+	}
+	b.breaks = append(b.breaks, ctrlTarget{label, done})
+	b.continues = append(b.continues, ctrlTarget{label, continueTo})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, continueTo)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label, suffix := b.takeLabel()
+	head := b.newBlock("range.head" + suffix)
+	b.edge(b.cur, head)
+	// The RangeStmt node stands for the loop head: subject evaluation
+	// and per-iteration key/value assignment. Analyses walking a node's
+	// subtree must treat it shallowly (X/Key/Value, not Body).
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock("range.body" + suffix)
+	done := b.newBlock("range.done" + suffix)
+	b.edge(head, body)
+	b.edge(head, done)
+	b.breaks = append(b.breaks, ctrlTarget{label, done})
+	b.continues = append(b.continues, ctrlTarget{label, head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label, suffix := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	done := b.newBlock("switch.done" + suffix)
+	b.breaks = append(b.breaks, ctrlTarget{label, done})
+	entries := make([]*Block, len(s.Body.List))
+	for i := range s.Body.List {
+		entries[i] = b.newBlock("switch.case" + suffix)
+	}
+	hasDefault := false
+	for i, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, entries[i])
+		b.cur = entries[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var next *Block
+		if i+1 < len(entries) {
+			next = entries[i+1]
+		}
+		b.fallTargets = append(b.fallTargets, next)
+		b.stmtList(cc.Body)
+		b.fallTargets = b.fallTargets[:len(b.fallTargets)-1]
+		b.edge(b.cur, done)
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = done
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label, suffix := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	done := b.newBlock("typeswitch.done" + suffix)
+	b.breaks = append(b.breaks, ctrlTarget{label, done})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock("typeswitch.case" + suffix)
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label, suffix := b.takeLabel()
+	head := b.cur
+	done := b.newBlock("select.done" + suffix)
+	b.breaks = append(b.breaks, ctrlTarget{label, done})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind + suffix)
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	// select{} blocks forever: head keeps no successors and everything
+	// after is unreachable — which falling into the pred-less done block
+	// models exactly.
+	b.cur = done
+}
+
+// terminalSelectors are selector method/function names whose call never
+// returns, matched syntactically (the CFG has no type information):
+// os.Exit, runtime.Goexit, log.Fatal*, and testing's Fatal/FailNow/Skip
+// family on any receiver.
+var terminalSelectors = map[string]bool{
+	"Exit":    true, // os.Exit (only with receiver ident "os")
+	"Goexit":  true, // runtime.Goexit (only with receiver ident "runtime")
+	"Fatal":   true,
+	"Fatalf":  true,
+	"Fatalln": true,
+	"FailNow": true,
+	"SkipNow": true,
+	"Skip":    true,
+	"Skipf":   true,
+}
+
+// onlyWithPkgIdent restricts ambiguous terminal names to a well-known
+// package qualifier, so an arbitrary method named Exit is not treated as
+// terminal.
+var onlyWithPkgIdent = map[string]string{
+	"Exit":   "os",
+	"Goexit": "runtime",
+}
+
+// Terminates reports whether a call statement provably never returns:
+// the panic builtin or one of the well-known terminal calls. The match
+// is syntactic; a shadowed `panic` identifier would be misclassified,
+// which is acceptable for this repository's conventions.
+func Terminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if !terminalSelectors[name] {
+			return false
+		}
+		if pkg, restricted := onlyWithPkgIdent[name]; restricted {
+			id, ok := fun.X.(*ast.Ident)
+			return ok && id.Name == pkg
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,350 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses `func f() { <body> }` and builds its graph.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// findBlock returns the unique block whose Kind matches; it fails the
+// test on zero or multiple matches.
+func findBlock(t *testing.T, g *Graph, kind string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			if found != nil {
+				t.Fatalf("multiple %q blocks in\n%s", kind, g)
+			}
+			found = b
+		}
+	}
+	if found == nil {
+		t.Fatalf("no %q block in\n%s", kind, g)
+	}
+	return found
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, "x := 1\n_ = x")
+	if len(g.Blocks) != 2 {
+		t.Fatalf("straight-line body should be entry+exit, got\n%s", g)
+	}
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Errorf("entry must fall through to exit:\n%s", g)
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Errorf("entry should hold both statements, got %d", len(g.Entry.Nodes))
+	}
+}
+
+func TestGraphInvariants(t *testing.T) {
+	bodies := []string{
+		"x := 1\n_ = x",
+		"if c() {\nreturn\n}",
+		"for i := 0; i < 3; i++ {\nif c() {\nbreak\n}\n}",
+		"L:\nfor {\nfor {\nif c() {\nbreak L\n}\ncontinue L\n}\n}",
+		"switch x() {\ncase 1:\nfallthrough\ncase 2:\ndefault:\n}",
+		"select {\ncase <-a():\ncase b() <- 1:\nreturn\ndefault:\n}",
+		"for i := range n() {\ndefer g(i)\n}",
+		"defer func() { recover() }()\nif c() {\npanic(\"p: x\")\n}",
+		"i := 0\nloop:\ni++\nif i < 3 {\ngoto loop\n}",
+	}
+	for _, body := range bodies {
+		g := buildFunc(t, body)
+		if g.Entry != g.Blocks[0] || g.Exit != g.Blocks[len(g.Blocks)-1] {
+			t.Errorf("entry/exit must bracket Blocks:\n%s", g)
+		}
+		if len(g.Exit.Succs) != 0 || len(g.Exit.Nodes) != 0 {
+			t.Errorf("exit must be empty and terminal:\n%s", g)
+		}
+		if len(g.Entry.Preds) != 0 {
+			t.Errorf("entry must have no predecessors:\n%s", g)
+		}
+		for _, b := range g.Blocks {
+			if b.Index >= len(g.Blocks) || g.Blocks[b.Index] != b {
+				t.Errorf("block index %d out of sync:\n%s", b.Index, g)
+			}
+			for _, s := range b.Succs {
+				ok := false
+				for _, p := range s.Preds {
+					if p == b {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("edge b%d->b%d missing from Preds:\n%s", b.Index, s.Index, g)
+				}
+			}
+		}
+		if !reachable(g)[g.Exit] {
+			t.Errorf("exit should be reachable for body %q:\n%s", body, g)
+		}
+	}
+}
+
+func TestIfElseBothReturn(t *testing.T) {
+	g := buildFunc(t, "if c() {\nreturn\n} else {\nreturn\n}\nx := 1\n_ = x")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	if done := findBlock(t, g, "if.done"); r[done] {
+		t.Errorf("code after an if/else that returns on both arms must be unreachable:\n%s", g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFunc(t, `outer:
+for i := 0; i < 3; i++ {
+for {
+if a() {
+break outer
+}
+if b() {
+continue outer
+}
+}
+}`)
+	r := reachable(g)
+	outerDone := findBlock(t, g, "for.done:outer")
+	outerPost := findBlock(t, g, "for.post:outer")
+	if !r[outerDone] {
+		t.Errorf("break outer must make the outer done block reachable:\n%s", g)
+	}
+	if !r[g.Exit] {
+		t.Errorf("exit must be reachable via break outer:\n%s", g)
+	}
+	// The inner loop has no exit of its own: its done block is only
+	// reachable through the labeled jumps.
+	breakSrc, continueSrc := false, false
+	for _, p := range outerDone.Preds {
+		if strings.HasPrefix(p.Kind, "if.then") {
+			breakSrc = true
+		}
+	}
+	for _, p := range outerPost.Preds {
+		if strings.HasPrefix(p.Kind, "if.then") {
+			continueSrc = true
+		}
+	}
+	if !breakSrc {
+		t.Errorf("break outer should edge from the if.then block to for.done:outer:\n%s", g)
+	}
+	if !continueSrc {
+		t.Errorf("continue outer should edge from the if.then block to for.post:outer:\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, "select {\ncase <-a():\nx := 1\n_ = x\ncase b() <- 1:\ndefault:\n}")
+	if len(g.Entry.Succs) != 3 {
+		t.Fatalf("select head should branch to all three clauses:\n%s", g)
+	}
+	done := findBlock(t, g, "select.done")
+	for _, s := range g.Entry.Succs {
+		if !strings.HasPrefix(s.Kind, "select.") {
+			t.Errorf("head successor %s is not a select clause:\n%s", s.Kind, g)
+		}
+		if !hasEdge(s, done) {
+			t.Errorf("clause %s must rejoin at select.done:\n%s", s.Kind, g)
+		}
+	}
+	// Each comm clause carries its communication as the first node.
+	cases := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "select.case" {
+			cases++
+			if len(b.Nodes) == 0 {
+				t.Errorf("comm clause block has no nodes:\n%s", g)
+			}
+		}
+	}
+	if cases != 2 {
+		t.Errorf("got %d select.case blocks, want 2:\n%s", cases, g)
+	}
+}
+
+func TestSelectEmptyBlocksForever(t *testing.T) {
+	g := buildFunc(t, "select {}\nx := 1\n_ = x")
+	if len(g.Entry.Succs) != 0 {
+		t.Errorf("select{} never proceeds; entry must have no successors:\n%s", g)
+	}
+	if reachable(g)[g.Exit] {
+		t.Errorf("exit must be unreachable after select{}:\n%s", g)
+	}
+}
+
+func TestDeferInLoop(t *testing.T) {
+	g := buildFunc(t, "for i := 0; i < 3; i++ {\ndefer g(i)\n}")
+	body := findBlock(t, g, "for.body")
+	if len(body.Nodes) != 1 {
+		t.Fatalf("loop body should hold exactly the defer, got %d nodes:\n%s", len(body.Nodes), g)
+	}
+	if _, ok := body.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Errorf("loop body node should be the DeferStmt, got %T", body.Nodes[0])
+	}
+	head := findBlock(t, g, "for.head")
+	post := findBlock(t, g, "for.post")
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Errorf("loop back-edges body->post->head missing:\n%s", g)
+	}
+}
+
+func TestPanicEdgesToExit(t *testing.T) {
+	g := buildFunc(t, "defer func() { recover() }()\nif c() {\npanic(\"p: x\")\n}\ng()")
+	then := findBlock(t, g, "if.then")
+	if !hasEdge(then, g.Exit) {
+		t.Errorf("panic must edge to exit (where defers run):\n%s", g)
+	}
+	if len(then.Succs) != 1 {
+		t.Errorf("nothing follows a panic in its block:\n%s", g)
+	}
+	done := findBlock(t, g, "if.done")
+	if !reachable(g)[done] {
+		t.Errorf("the non-panicking path must continue past the if:\n%s", g)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := buildFunc(t, "i := 0\nloop:\ni++\nif i < 3 {\ngoto loop\n}")
+	label := findBlock(t, g, "label:loop")
+	then := findBlock(t, g, "if.then")
+	if !hasEdge(then, label) {
+		t.Errorf("goto loop must edge back to the label block:\n%s", g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Errorf("falling through the if must reach exit:\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, "switch x() {\ncase 1:\nfallthrough\ncase 2:\ng()\ndefault:\n}")
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("got %d case blocks, want 3:\n%s", len(cases), g)
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Errorf("fallthrough must edge from case 1 into case 2:\n%s", g)
+	}
+	// With a default clause, the head must not edge straight to done.
+	done := findBlock(t, g, "switch.done")
+	if hasEdge(g.Entry, done) {
+		t.Errorf("a switch with default has no head->done edge:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := buildFunc(t, "switch x() {\ncase 1:\nreturn\n}")
+	done := findBlock(t, g, "switch.done")
+	if !hasEdge(g.Entry, done) {
+		t.Errorf("a switch without default can skip every case:\n%s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, "for v := range ch() {\n_ = v\n}")
+	head := findBlock(t, g, "range.head")
+	body := findBlock(t, g, "range.body")
+	done := findBlock(t, g, "range.done")
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range head should hold the RangeStmt:\n%s", g)
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Errorf("range head node should be the RangeStmt, got %T", head.Nodes[0])
+	}
+	if !hasEdge(head, body) || !hasEdge(head, done) || !hasEdge(body, head) {
+		t.Errorf("range edges head<->body and head->done missing:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g := buildFunc(t, "for {\ng()\n}")
+	if reachable(g)[g.Exit] {
+		t.Errorf("a for{} without break never reaches exit:\n%s", g)
+	}
+}
+
+func TestTerminalCalls(t *testing.T) {
+	terminal := []string{
+		`panic("p: x")`,
+		"os.Exit(1)",
+		"runtime.Goexit()",
+		"log.Fatalf(\"x\")",
+		"t.Fatal(\"x\")",
+		"t.FailNow()",
+		"t.SkipNow()",
+	}
+	for _, call := range terminal {
+		g := buildFunc(t, call+"\ng()")
+		r := reachable(g)
+		for _, b := range g.Blocks {
+			if b.Kind == "unreachable" && r[b] {
+				t.Errorf("code after %s must be unreachable:\n%s", call, g)
+			}
+		}
+	}
+	// Non-terminal lookalikes keep flowing: a method named Exit on an
+	// arbitrary receiver is not os.Exit.
+	g := buildFunc(t, "app.Exit(1)\ng()")
+	if len(g.Blocks) != 2 {
+		t.Errorf("app.Exit must not be treated as terminal:\n%s", g)
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	g := buildFunc(t, "if c() {\nreturn\n}")
+	s := g.String()
+	if !strings.Contains(s, "entry") || !strings.Contains(s, "exit") || !strings.Contains(s, "if.then") {
+		t.Errorf("dump should name block kinds:\n%s", s)
+	}
+	if s != g.String() {
+		t.Error("dump must be deterministic")
+	}
+}

@@ -1,0 +1,102 @@
+package cfg
+
+import "go/ast"
+
+// A Fact is one immutable dataflow value. Implementations are supplied
+// by the Analysis; the engine only moves them around, so any type works
+// as long as Transfer returns fresh values instead of mutating its
+// input (a mutated fact corrupts every block sharing it).
+type Fact any
+
+// An Analysis is one forward dataflow problem over a Graph. The facts
+// must form a join-semilattice of finite height and Transfer must be
+// monotone, or the fixpoint cannot converge; Forward guards against
+// that with a hard iteration cap rather than hanging.
+type Analysis interface {
+	// Entry is the fact at function entry.
+	Entry() Fact
+	// Transfer applies one block node to the incoming fact and returns
+	// the outgoing fact (a new value; in must not be mutated).
+	Transfer(n ast.Node, in Fact) Fact
+	// Join merges the facts of two predecessor edges.
+	Join(a, b Fact) Fact
+	// Equal reports whether two facts are the same lattice point; it
+	// decides convergence.
+	Equal(a, b Fact) bool
+}
+
+// A Result holds the converged facts of one Forward run. A block absent
+// from In was never reached by any path from Entry — analyzers use that
+// to detect unreachable code (e.g. the fall-through after an infinite
+// loop).
+type Result struct {
+	In  map[*Block]Fact
+	Out map[*Block]Fact
+}
+
+// maxVisitsPerBlock caps worklist revisits per block. Any finite-height
+// lattice with monotone transfer converges in height×blocks visits; the
+// analyzers here use small bitset or boolean lattices, so 64 revisits
+// per block means the Analysis is broken, not the graph large.
+const maxVisitsPerBlock = 64
+
+// Forward runs the analysis over the graph to a fixpoint with a
+// worklist and returns the per-block facts.
+func Forward(g *Graph, a Analysis) *Result {
+	res := &Result{
+		In:  make(map[*Block]Fact, len(g.Blocks)),
+		Out: make(map[*Block]Fact, len(g.Blocks)),
+	}
+	res.In[g.Entry] = a.Entry()
+	work := []*Block{g.Entry}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+	visits := 0
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		if visits++; visits > maxVisitsPerBlock*len(g.Blocks) {
+			panic("cfg: dataflow fixpoint did not converge (non-monotone Transfer/Join or unstable Equal)")
+		}
+		f := res.In[blk]
+		for _, n := range blk.Nodes {
+			f = a.Transfer(n, f)
+		}
+		if old, ok := res.Out[blk]; ok && a.Equal(old, f) {
+			continue
+		}
+		res.Out[blk] = f
+		for _, s := range blk.Succs {
+			next := f
+			if cur, ok := res.In[s]; ok {
+				next = a.Join(cur, f)
+				if a.Equal(cur, next) {
+					continue
+				}
+			}
+			res.In[s] = next
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}
+
+// Visit replays the converged facts in block order, calling fn with the
+// fact in force immediately before each node — the hook analyzers report
+// diagnostics from. Unreachable blocks are skipped.
+func (r *Result) Visit(g *Graph, a Analysis, fn func(n ast.Node, before Fact)) {
+	for _, b := range g.Blocks {
+		f, ok := r.In[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fn(n, f)
+			f = a.Transfer(n, f)
+		}
+	}
+}

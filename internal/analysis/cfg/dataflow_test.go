@@ -1,0 +1,170 @@
+package cfg
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// assignedVars is a may-analysis collecting the names assigned on some
+// path: facts are sorted comma-joined name sets (strings compare cheaply
+// and are immutable, matching the engine's contract).
+type assignedVars struct{ transfers int }
+
+func (a *assignedVars) Entry() Fact { return "" }
+
+func (a *assignedVars) Transfer(n ast.Node, in Fact) Fact {
+	a.transfers++
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return in
+	}
+	set := factSet(in)
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			set[id.Name] = true
+		}
+	}
+	return setFact(set)
+}
+
+func (a *assignedVars) Join(x, y Fact) Fact {
+	set := factSet(x)
+	for k := range factSet(y) {
+		set[k] = true
+	}
+	return setFact(set)
+}
+
+func (a *assignedVars) Equal(x, y Fact) bool { return x == y }
+
+func factSet(f Fact) map[string]bool {
+	set := map[string]bool{}
+	for _, n := range strings.Split(f.(string), ",") {
+		if n != "" {
+			set[n] = true
+		}
+	}
+	return set
+}
+
+func setFact(set map[string]bool) Fact {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	// Insertion sort: tiny sets, deterministic fact strings.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+func TestForwardJoinsBranches(t *testing.T) {
+	g := buildFunc(t, `if c() {
+x = 1
+} else {
+y = 2
+}
+z = 3`)
+	a := &assignedVars{}
+	res := Forward(g, a)
+	got := res.In[g.Exit].(string)
+	if got != "x,y,z" {
+		t.Errorf("exit fact = %q, want x,y,z (join of both branches plus the tail)", got)
+	}
+	done := findBlock(t, g, "if.done")
+	if in := res.In[done].(string); in != "x,y" {
+		t.Errorf("merge fact = %q, want x,y", in)
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	// The loop body assigns a new name each conceptual iteration — but
+	// the lattice has only the three names, so the fixpoint saturates.
+	g := buildFunc(t, `for i := 0; i < 3; i++ {
+x = 1
+if c() {
+y = 2
+}
+}
+z = 3`)
+	a := &assignedVars{}
+	res := Forward(g, a)
+	if got := res.In[g.Exit].(string); got != "i,x,y,z" {
+		t.Errorf("exit fact = %q, want i,x,y,z", got)
+	}
+	// Termination with a bounded number of visits: the engine itself
+	// panics past maxVisitsPerBlock, but a healthy run should be far
+	// below the cap.
+	if cap := maxVisitsPerBlock * len(g.Blocks) / 2; a.transfers > cap {
+		t.Errorf("fixpoint took %d transfers, expected well under %d", a.transfers, cap)
+	}
+}
+
+func TestForwardUnreachableBlocksHaveNoFact(t *testing.T) {
+	g := buildFunc(t, "return\nx = 1")
+	res := Forward(g, &assignedVars{})
+	for _, b := range g.Blocks {
+		if b.Kind != "unreachable" {
+			continue
+		}
+		if _, ok := res.In[b]; ok {
+			t.Errorf("unreachable block b%d has an input fact:\n%s", b.Index, g)
+		}
+	}
+	if _, ok := res.In[g.Exit]; !ok {
+		t.Error("exit must have a fact (the return reaches it)")
+	}
+}
+
+// brokenAnalysis never reports facts as equal, so a graph with a loop
+// can never converge; Forward must fail loudly instead of hanging.
+type brokenAnalysis struct{}
+
+func (brokenAnalysis) Entry() Fact                       { return 0 }
+func (brokenAnalysis) Transfer(_ ast.Node, in Fact) Fact { return in.(int) + 1 }
+func (brokenAnalysis) Join(a, b Fact) Fact               { return a.(int) + b.(int) }
+func (brokenAnalysis) Equal(a, b Fact) bool              { return false }
+
+func TestForwardDivergenceGuard(t *testing.T) {
+	g := buildFunc(t, "for {\nx = 1\nif c() {\nbreak\n}\n}")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Forward should panic on a non-converging analysis")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "did not converge") {
+			t.Errorf("unexpected panic value: %v", r)
+		}
+	}()
+	Forward(g, brokenAnalysis{})
+}
+
+func TestVisitReplaysFacts(t *testing.T) {
+	g := buildFunc(t, `x = 1
+if c() {
+y = 2
+}
+z = 3`)
+	a := &assignedVars{}
+	res := Forward(g, a)
+	var before []string
+	res.Visit(g, a, func(n ast.Node, f Fact) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			name := as.Lhs[0].(*ast.Ident).Name
+			before = append(before, name+"|"+f.(string))
+		}
+	})
+	want := []string{"x|", "y|x", "z|x,y"}
+	if len(before) != len(want) {
+		t.Fatalf("visited %v, want %v", before, want)
+	}
+	for i := range want {
+		if before[i] != want[i] {
+			t.Errorf("visit %d = %q, want %q", i, before[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestGoroLeakFixtures(t *testing.T) {
+	checkFixture(t, GoroLeak, loadFixture(t, "goroleak", ""))
+}

@@ -20,10 +20,13 @@ const internalPrefix = "shadow/internal/"
 // architecture for every future change.
 var layerImports = map[string][]string{
 	// Foundations: no internal imports at all.
-	"timing":   {},
-	"hammer":   {},
-	"rng":      {},
-	"analysis": {},
+	"timing":       {},
+	"hammer":       {},
+	"rng":          {},
+	"analysis/cfg": {},
+
+	// The analyzer framework sits on its own CFG core.
+	"analysis": {"analysis/cfg"},
 
 	// Containers over timing ticks.
 	"minq": {"timing"},

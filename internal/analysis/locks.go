@@ -15,16 +15,21 @@ var lockTypeNames = map[string]bool{
 	"Cond":      true,
 }
 
-// Locks enforces two rules around the sync package. First, sync.Mutex,
+// Locks enforces the no-copy rule around the sync package: sync.Mutex,
 // sync.RWMutex, sync.WaitGroup, sync.Once and sync.Cond (or structs
-// containing one by value) must not be copied: not passed or returned by
+// containing one by value) must not be copied — not passed or returned by
 // value, not assigned from an existing value, not ranged over by value — a
-// copied lock guards nothing. Second, every mu.Lock()/mu.RLock() must have
-// a matching mu.Unlock()/mu.RUnlock() (plain or deferred) in the same
-// function, the pattern every hot path in this repository uses.
+// copied lock guards nothing.
+//
+// Its original second rule (every Lock has a same-function Unlock) is
+// deprecated in favor of the flow-sensitive lockflow analyzer, which
+// proves release on every path instead of anywhere in the body. The
+// locks name survives as a waiver alias: a //shadowvet:ignore locks
+// directive also suppresses lockflow findings, so waivers written
+// against the old check migrate without edits.
 var Locks = &Analyzer{
 	Name: "locks",
-	Doc:  "forbid by-value sync.Mutex/WaitGroup/... and Lock calls without a same-function Unlock",
+	Doc:  "forbid by-value copies of sync.Mutex/WaitGroup/... (Lock/Unlock pairing is flow-checked by lockflow)",
 	Run:  runLocks,
 }
 
@@ -41,12 +46,8 @@ func runLocks(pass *Pass) {
 						}
 					}
 				}
-				if n.Body != nil {
-					checkLockPairing(pass, n.Body)
-				}
 			case *ast.FuncLit:
 				checkSignature(pass, n.Type)
-				checkLockPairing(pass, n.Body)
 			case *ast.AssignStmt:
 				for _, rhs := range n.Rhs {
 					checkLockCopy(pass, rhs)
@@ -152,62 +153,27 @@ func lockIn(t types.Type) string {
 	return "a sync lock"
 }
 
-// lockCall describes one mu.Lock()/mu.Unlock()-family call site.
-type lockCall struct {
-	recv string // rendered receiver expression, e.g. "c.mu"
-	pos  ast.Node
-}
-
-// checkLockPairing verifies that every Lock/RLock on a sync type has a
-// matching Unlock/RUnlock on the same receiver expression somewhere in the
-// same function body (nested function literals are separate scopes).
-func checkLockPairing(pass *Pass, body *ast.BlockStmt) {
-	locks := map[string][]lockCall{} // "Lock" and "RLock" sites by receiver
-	unlocks := map[string]bool{}     // "Unlock:" / "RUnlock:" + receiver
-	var walk func(n ast.Node) bool
-	walk = func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false // separate scope, visited by runLocks itself
-		case *ast.CallExpr:
-			name, recv, ok := syncMethod(pass, n)
-			if !ok {
-				return true
-			}
-			switch name {
-			case "Lock", "RLock":
-				locks[name] = append(locks[name], lockCall{recv: recv, pos: n})
-			case "Unlock", "RUnlock":
-				unlocks[name+":"+recv] = true
-			}
-		}
-		return true
-	}
-	ast.Inspect(body, walk)
-	pair := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
-	for name, calls := range locks {
-		for _, c := range calls {
-			if !unlocks[pair[name]+":"+c.recv] {
-				pass.Reportf(c.pos.Pos(), "%s.%s() without a same-function %s.%s() (plain or deferred)", c.recv, name, c.recv, pair[name])
-			}
-		}
-	}
-}
-
-// syncMethod matches calls to Lock/Unlock/RLock/RUnlock methods defined in
-// package sync and returns the method name and rendered receiver.
-func syncMethod(pass *Pass, call *ast.CallExpr) (name, recv string, ok bool) {
+// syncMethod matches calls to methods defined in package sync
+// (Lock/Unlock/RLock/RUnlock/Wait/Done/...) and returns the method name,
+// the rendered receiver expression, and the receiver's named type (Mutex,
+// RWMutex, WaitGroup, Cond). Shared by the locks, lockflow, goroleak, and
+// sharedflow analyzers.
+func syncMethod(pass *Pass, call *ast.CallExpr) (name, recv, typeName string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
-		return "", "", false
+		return "", "", "", false
 	}
 	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
+		return "", "", "", false
 	}
-	switch fn.Name() {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-		return fn.Name(), types.ExprString(sel.X), true
+	if t := pass.Info.TypeOf(sel.X); t != nil {
+		if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			typeName = named.Obj().Name()
+		}
 	}
-	return "", "", false
+	return fn.Name(), types.ExprString(sel.X), typeName, true
 }

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSharedFlowFixtures(t *testing.T) {
+	checkFixture(t, SharedFlow, loadFixture(t, "sharedflow", ""))
+}

@@ -1,0 +1,34 @@
+// Package goroleak is a shadowvet test fixture: goroutines whose
+// termination is invisible at the spawn site.
+package goroleak
+
+import "sync"
+
+func compute() {}
+
+func noSignalNamed() {
+	go compute() // want:goroleak
+}
+
+func plainBody() {
+	go func() { // want:goroleak
+		compute()
+	}()
+}
+
+func spinsForever() {
+	go func() { // want:goroleak
+		for {
+			compute()
+		}
+	}()
+}
+
+func doneOnOneBranchOnly(wg *sync.WaitGroup, flip bool) {
+	wg.Add(1)
+	go func() { // want:goroleak
+		if flip {
+			wg.Done()
+		}
+	}()
+}

@@ -1,0 +1,80 @@
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func workerCtx(ctx context.Context)   {}
+func workerChan(stop <-chan struct{}) {}
+
+// Named functions pass when an argument can carry the stop signal.
+func namedWithContext(ctx context.Context) {
+	go workerCtx(ctx)
+}
+
+func namedWithChannel(stop chan struct{}) {
+	go workerChan(stop)
+}
+
+func deferredDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+	wg.Wait()
+}
+
+// Done proven on every path by the flow analysis, not just deferred.
+func doneOnAllPaths(wg *sync.WaitGroup, flip bool) {
+	wg.Add(1)
+	go func() {
+		if flip {
+			compute()
+			wg.Done()
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func stopChannelLoop(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case n := <-work:
+				_ = n
+			}
+		}
+	}()
+}
+
+func rangeOverChannel(work chan int) {
+	go func() {
+		for n := range work {
+			_ = n
+		}
+	}()
+}
+
+// Sending on completion makes the lifetime observable from outside.
+func publishesCompletion(done chan struct{}) {
+	go func() {
+		compute()
+		done <- struct{}{}
+	}()
+}
+
+// A waiver states the process-lifetime contract explicitly.
+func processLifetime() {
+	//shadowvet:ignore goroleak -- deliberate process-lifetime worker; torn down only at exit
+	go func() {
+		for {
+			compute()
+		}
+	}()
+}

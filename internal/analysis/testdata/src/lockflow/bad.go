@@ -1,0 +1,78 @@
+// Package lockflow is a shadowvet test fixture: flow-sensitive locking
+// hazards — releases missing on some path, double locks, read-to-write
+// upgrades, and blocking operations under a held lock.
+package lockflow
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func leakOnEarlyReturn(c *counter, fail bool) int {
+	c.mu.Lock() // want:lockflow
+	if fail {
+		return -1 // escapes without the unlock below
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func lockNoUnlock(c *counter) {
+	c.mu.Lock() // want:lockflow
+	c.n++
+}
+
+func rlockNoRUnlock(c *counter) int {
+	c.rw.RLock() // want:lockflow
+	return c.n
+}
+
+func unlockInOtherScope(c *counter) {
+	c.mu.Lock() // want:lockflow
+	func() {
+		c.mu.Unlock() // a nested literal is a separate function
+	}()
+}
+
+func leakOnOneBranch(c *counter, flip bool) {
+	c.mu.Lock() // want:lockflow
+	if flip {
+		c.mu.Unlock()
+	}
+}
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want:lockflow
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func upgrade(c *counter) {
+	c.rw.RLock()
+	c.rw.Lock() // want:lockflow
+	c.rw.Unlock()
+	c.rw.RUnlock()
+}
+
+func sendUnderLock(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want:lockflow
+	c.mu.Unlock()
+}
+
+func recvUnderLock(c *counter, ch chan int) {
+	c.mu.Lock()
+	c.n = <-ch // want:lockflow
+	c.mu.Unlock()
+}
+
+func waitUnderLock(c *counter, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want:lockflow
+	c.mu.Unlock()
+}

@@ -1,0 +1,80 @@
+package lockflow
+
+func straightLine(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// A deferred release covers every path: the early return and the panic
+// both run it on the way out.
+func deferredUnlock(c *counter, fail bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fail {
+		return -1
+	}
+	if c.n < 0 {
+		panic("counter underflow: negative count")
+	}
+	return c.n
+}
+
+// A guard clause before the Lock/defer pair must not erase the deferred
+// release at the exit join (the untouched path holds nothing).
+func guardClauseThenDefer(c *counter, skip bool) {
+	if skip {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func bothBranchesRelease(c *counter, flip bool) {
+	c.mu.Lock()
+	if flip {
+		c.n++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// Read under RLock, then write under Lock — the upgrade hazard is only
+// in holding both at once.
+func readThenWrite(c *counter) {
+	c.rw.RLock()
+	n := c.n
+	c.rw.RUnlock()
+	if n > 0 {
+		c.rw.Lock()
+		c.n = 0
+		c.rw.Unlock()
+	}
+}
+
+func releaseBeforeBlocking(c *counter, ch chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+}
+
+func lockInLoop(c *counter, rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// A deferred literal releases what its body releases.
+func deferredLiteralRelease(c *counter) {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.n++
+}

@@ -1,0 +1,14 @@
+package lockflow
+
+// The deprecated locks pairing rule lives on as a waiver alias: this
+// directive, written against the old analyzer name, keeps suppressing
+// the flow-sensitive successor's finding, so waivers migrate unedited.
+
+func handedToCaller(c *counter) {
+	c.mu.Lock() //shadowvet:ignore locks -- acquired for the caller; released by releaseCounter when the batch completes
+	c.n++
+}
+
+func releaseCounter(c *counter) {
+	c.mu.Unlock()
+}

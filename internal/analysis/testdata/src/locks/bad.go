@@ -1,5 +1,5 @@
 // Package locks is a shadowvet test fixture: sync primitives copied by
-// value and Lock calls with no matching Unlock.
+// value. (Lock/Unlock pairing moved to the lockflow fixture.)
 package locks
 
 import "sync"
@@ -37,20 +37,4 @@ func rangeCopy(gs []guarded) int {
 		total += g.n
 	}
 	return total
-}
-
-func lockNoUnlock(g *guarded) {
-	g.mu.Lock() // want:locks
-	g.n++
-}
-
-func rlockNoRUnlock(mu *sync.RWMutex) {
-	mu.RLock() // want:locks
-}
-
-func unlockInOtherFunc(g *guarded) {
-	g.mu.Lock() // want:locks
-	func() {
-		g.mu.Unlock() // a nested literal is a separate scope
-	}()
 }

@@ -1,0 +1,39 @@
+// Package minq masquerades as the real indexed min-queue: sharedflow
+// matches hot-path types by declaring-package name plus type name, so
+// this fixture's Queue stands in for shadow/internal/minq.Queue.
+package minq
+
+import "sync"
+
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+	dirty bool
+}
+
+func goroutineWrite(q *Queue) {
+	go func() {
+		q.dirty = true // want:sharedflow
+	}()
+}
+
+func callbackWrite(q *Queue, each func(fn func())) {
+	each(func() {
+		q.items = append(q.items, 1) // want:sharedflow
+	})
+}
+
+func incDecThroughIndex(q *Queue) {
+	go func() {
+		q.items[0]++ // want:sharedflow
+	}()
+}
+
+func lockReleasedTooEarly(q *Queue) {
+	go func() {
+		q.mu.Lock()
+		q.items = q.items[:0]
+		q.mu.Unlock()
+		q.dirty = false // want:sharedflow
+	}()
+}

@@ -1,0 +1,48 @@
+package minq
+
+// Synchronous writes are the simulator hot path; only asynchronous
+// contexts are checked.
+func synchronousWrite(q *Queue) {
+	q.dirty = true
+	q.items = append(q.items, 7)
+}
+
+func guardedGoroutineWrite(q *Queue) {
+	go func() {
+		q.mu.Lock()
+		q.dirty = true
+		q.items = q.items[:0]
+		q.mu.Unlock()
+	}()
+}
+
+func guardedCallbackWrite(q *Queue, each func(fn func())) {
+	each(func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		q.items = append(q.items, 1)
+	})
+}
+
+// Reads are not writes: publishing a snapshot needs no guard here.
+func readInGoroutine(q *Queue, out chan int) {
+	go func() {
+		out <- len(q.items)
+	}()
+}
+
+// Unregistered types are out of scope however they are shared.
+type scratch struct{ n int }
+
+func unregisteredType(s *scratch) {
+	go func() {
+		s.n = 1
+	}()
+}
+
+// A waiver records the synchronization the analyzer cannot see.
+func externallySerialized(q *Queue) {
+	go func() {
+		q.dirty = true //shadowvet:ignore sharedflow -- the spawner joins this goroutine before any other access
+	}()
+}

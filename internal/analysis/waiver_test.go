@@ -61,6 +61,9 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 		{"determinism", "shadow/internal/sim"},
 		{"exhaustive", ""},
 		{"nilguard", "shadow/internal/obs"},
+		{"lockflow", ""},
+		{"goroleak", ""},
+		{"sharedflow", ""},
 	}
 	var pkgs []*Package
 	for _, f := range fixtures {

@@ -33,6 +33,20 @@ go run ./cmd/shadowvet -json ./... | tee shadowvet-report.json
 echo "==> shadowvet (span tracker)"
 go run ./cmd/shadowvet ./internal/obs/span
 
+# Self-check: the analyzer framework — including the cfg package the
+# flow-sensitive analyzers are built on — must pass its own suite. Gated
+# by name so a refactor of internal/analysis can't waive itself out.
+echo "==> shadowvet (self-check)"
+go run ./cmd/shadowvet ./internal/analysis/...
+
+# Static concurrency checking (lockflow/goroleak/sharedflow above) and
+# dynamic checking gate together: a fast, focused race lane over the
+# packages that actually spawn goroutines (the exp sweep workers, the obs
+# inspector serving HTTP during a run) runs before the full race sweep at
+# the end, so concurrency regressions fail in seconds, not minutes.
+echo "==> go test -race (concurrency-focused lane)"
+go test -race ./internal/exp/... ./internal/obs/...
+
 # examples/ is built but (deliberately) excluded from layering: it sits above
 # internal/ like cmd/. Gate it explicitly so the demos keep passing the rest
 # of the suite — panic messages, command-error handling, lock hygiene.
