@@ -28,20 +28,22 @@ lint:
 	go run ./cmd/shadowvet ./...
 
 fmt:
-	gofmt -w cmd internal examples bench_test.go
+	gofmt -w cmd internal examples ./*.go
 
 # One pass over every benchmark as a smoke test, plus a machine-readable
-# report (BENCH_pr5.json): shadowbench echoes the benchmark output through
+# report ($(BENCH_OUT)): shadowbench echoes the benchmark output through
 # and appends headline per-scheme simulation stats with the shadowtap blame
 # split. -benchmem feeds allocs/op into the report so the zero-alloc hot
-# path is pinned by data, not just by the regression tests. Set
-# BENCH_BEFORE=<prior report.json> to embed before/after comparisons
-# (speedup, alloc reduction) against an earlier run. For real measurements
-# run with -count=10 and compare with benchstat (see README "Observability
-# & profiling").
+# path is pinned by data, not just by the regression tests. Each run also
+# appends one line to BENCH_history.jsonl (git rev + every benchmark), the
+# trajectory scripts/check.sh warns against. Set BENCH_BEFORE=<prior
+# report.json> to embed before/after comparisons (speedup, alloc reduction)
+# against an earlier run. For real measurements run with -count=10 and
+# compare with benchstat (see README "Observability & profiling").
+BENCH_OUT ?= BENCH_pr7.json
 bench:
 	go test -bench . -benchmem -benchtime 1x -run '^$$' ./... | \
-		go run ./cmd/shadowbench -o BENCH_pr5.json $(if $(BENCH_BEFORE),-before $(BENCH_BEFORE))
+		go run ./cmd/shadowbench -o $(BENCH_OUT) $(if $(BENCH_BEFORE),-before $(BENCH_BEFORE))
 
 verify:
 	./scripts/check.sh

@@ -18,6 +18,7 @@ import (
 	"shadow/internal/hammer"
 	"shadow/internal/mitigate"
 	"shadow/internal/obs"
+	"shadow/internal/obs/flight"
 	"shadow/internal/obs/span"
 	"shadow/internal/power"
 	"shadow/internal/security"
@@ -33,19 +34,22 @@ func benchOpts() exp.RunOpts {
 
 // BenchmarkSim measures raw simulator throughput — the perf gate of the
 // event-driven scheduler. Four headline schemes (DDR4-2666, 4 cores), each
-// in three modes: the event-driven scheduler as shipped, the same with full
-// observation attached (shadowscope probe + shadowtap spans, which forces
-// non-idle banks volatile in the readiness cache), and the legacy full-
-// rescan scheduler kept compiled for the equivalence test — the scheduler-
-// overhead baseline. Run with -benchmem; shadowbench records ns/op,
-// allocs/op, and sims/sec into the BENCH report.
+// in four modes: the event-driven scheduler as shipped, the same with the
+// always-on telemetry lane (metrics probe + flight ring, the budgeted
+// production config), with full observation attached (shadowscope probe +
+// shadowtap spans, which forces non-idle banks volatile in the readiness
+// cache), and the legacy full-rescan scheduler kept compiled for the
+// equivalence test — the scheduler-overhead baseline. Run with -benchmem;
+// shadowbench records ns/op, allocs/op, and sims/sec into the BENCH report
+// and derives the telemetry-overhead section from event vs flight vs probed.
 func BenchmarkSim(b *testing.B) {
 	schemes := []exp.Scheme{exp.Baseline, exp.Shadow, exp.MithrilPerf, exp.BlockHammer}
 	modes := []struct {
-		name           string
-		probed, rescan bool
+		name                   string
+		flight, probed, rescan bool
 	}{
 		{name: "event"},
+		{name: "flight", flight: true},
 		{name: "probed", probed: true},
 		{name: "rescan", rescan: true},
 	}
@@ -53,13 +57,13 @@ func BenchmarkSim(b *testing.B) {
 		for _, mode := range modes {
 			mode := mode
 			b.Run(string(scheme)+"/"+mode.name, func(b *testing.B) {
-				benchSim(b, scheme, mode.probed, mode.rescan)
+				benchSim(b, scheme, mode.flight, mode.probed, mode.rescan)
 			})
 		}
 	}
 }
 
-func benchSim(b *testing.B, scheme exp.Scheme, probed, rescan bool) {
+func benchSim(b *testing.B, scheme exp.Scheme, flighted, probed, rescan bool) {
 	o := benchOpts()
 	geo := o.Geometry(timing.DDR4_2666)
 	profiles := trace.MixHigh(o.Cores)
@@ -84,6 +88,12 @@ func benchSim(b *testing.B, scheme exp.Scheme, probed, rescan bool) {
 			Workload:   trace.Generators(profiles, geo, o.Seed),
 			Duration:   o.Duration,
 			FullRescan: rescan,
+		}
+		if flighted {
+			// The always-on config: metrics plus a flight ring, no spans
+			// and no growable event log.
+			rec := obs.NewRecorder(obs.Options{Metrics: true, Flight: flight.NewRing(flight.DefaultCapacity)})
+			cfg.Probe = rec.NewTrack(string(scheme))
 		}
 		if probed {
 			rec := obs.NewRecorder(obs.Options{Metrics: true})

@@ -13,8 +13,19 @@
 // entry (ns/op speedup, allocs/op reduction) — the before/after evidence the
 // scheduler-performance acceptance gate asks for.
 //
+// Two trajectory features track performance across PRs:
+//
+//   - -history FILE (default BENCH_history.jsonl) appends one JSON line per
+//     run — git revision plus every parsed benchmark — building a
+//     append-only record of the repo's perf trajectory. Empty disables.
+//   - -against FILE compares this run to a prior report (.json) or to the
+//     last line of a history file (.jsonl); any benchmark more than 10%
+//     slower is flagged on stderr and the exit status is 3, so CI can route
+//     it to a warning lane without failing the build.
+//
 // The report carries no timestamps or host identifiers, so reruns on
-// unchanged code produce comparable documents.
+// unchanged code produce comparable documents (the history file records the
+// git revision, which is repo state, not wall clock).
 package main
 
 import (
@@ -23,7 +34,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -79,18 +92,45 @@ type benchCompare struct {
 	AllocCutPct float64 `json:"alloc_reduction_pct,omitempty"`
 }
 
+// telemetryOverhead quantifies, per scheme, the cost of observation over the
+// bare event-driven scheduler (BenchmarkSim/<scheme>/event): the always-on
+// lane (/flight: metrics probe + flight ring) and full observation (/probed:
+// metrics + spans). Overhead percentages are (mode-event)/event*100; the
+// flight lane is the one held to the ≤25% budget.
+type telemetryOverhead struct {
+	Scheme       string  `json:"scheme"`
+	EventNs      float64 `json:"event_ns_per_op"`
+	FlightNs     float64 `json:"flight_ns_per_op,omitempty"`
+	FlightPct    float64 `json:"flight_overhead_pct"`
+	FlightAllocs float64 `json:"flight_allocs_per_op"`
+	ProbedNs     float64 `json:"probed_ns_per_op,omitempty"`
+	ProbedPct    float64 `json:"probed_overhead_pct"`
+}
+
 type benchReport struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 	// Before and Compare are present only when -before supplies a prior
 	// report to measure against.
 	Before  []benchResult  `json:"before_benchmarks,omitempty"`
 	Compare []benchCompare `json:"compare,omitempty"`
-	Sims    []simResult    `json:"sims"`
+	// TelemetryOverhead is derived from the BenchmarkSim mode matrix when
+	// the event-mode baselines are present in this run.
+	TelemetryOverhead []telemetryOverhead `json:"telemetry_overhead,omitempty"`
+	Sims              []simResult         `json:"sims"`
+}
+
+// historyEntry is one line of the append-only BENCH_history.jsonl perf
+// trajectory: which revision ran, and what every benchmark measured.
+type historyEntry struct {
+	GitRev     string        `json:"git_rev,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_pr5.json", "output JSON path")
 	before := flag.String("before", "", "prior report JSON to compare against (its benchmarks become the 'before' side)")
+	history := flag.String("history", "BENCH_history.jsonl", "append this run's benchmarks to a JSONL perf-trajectory file (empty disables)")
+	against := flag.String("against", "", "flag >10% ns/op regressions vs a prior report (.json) or history file's last line (.jsonl); exit 3 on regression")
 	skipSims := flag.Bool("no-sims", false, "skip the headline scheme simulations")
 	flag.Parse()
 
@@ -102,6 +142,7 @@ func main() {
 	}
 
 	rep := benchReport{Benchmarks: benches, Sims: []simResult{}}
+	rep.TelemetryOverhead = telemetrySection(benches)
 	if *before != "" {
 		prior, err := loadReport(*before)
 		exitOn(err)
@@ -113,14 +154,168 @@ func main() {
 		exitOn(err)
 	}
 
-	f, err := os.Create(*out)
-	exitOn(err)
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	exitOn(enc.Encode(rep))
-	exitOn(f.Close())
-	fmt.Fprintf(os.Stderr, "shadowbench: %d benchmarks, %d scheme sims -> %s\n",
-		len(rep.Benchmarks), len(rep.Sims), *out)
+	if *out != "" && *out != "/dev/null" {
+		f, err := os.Create(*out)
+		exitOn(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(rep))
+		exitOn(f.Close())
+		fmt.Fprintf(os.Stderr, "shadowbench: %d benchmarks, %d scheme sims -> %s\n",
+			len(rep.Benchmarks), len(rep.Sims), *out)
+	}
+	for _, to := range rep.TelemetryOverhead {
+		fmt.Fprintf(os.Stderr, "shadowbench: telemetry overhead %s: flight %+.1f%% (%.0f allocs/op), probed %+.1f%%\n",
+			to.Scheme, to.FlightPct, to.FlightAllocs, to.ProbedPct)
+	}
+
+	if *history != "" {
+		exitOn(appendHistory(*history, benches))
+	}
+
+	// The regression lane runs last so every artifact is written before a
+	// non-zero exit; exit 3 distinguishes "slower" from "broken".
+	if *against != "" {
+		prior, err := loadAgainst(*against)
+		exitOn(err)
+		if regs := regressions(prior, benches); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "shadowbench: REGRESSION", r)
+			}
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "shadowbench: no >10%% regressions vs %s\n", *against)
+	}
+}
+
+// telemetrySection derives the per-scheme observation-cost table from the
+// BenchmarkSim mode matrix (names like BenchmarkSim/shadow/event).
+func telemetrySection(benches []benchResult) []telemetryOverhead {
+	mode := func(name string) (scheme, m string, ok bool) {
+		rest, found := strings.CutPrefix(name, "BenchmarkSim/")
+		if !found {
+			return "", "", false
+		}
+		scheme, m, found = strings.Cut(rest, "/")
+		return scheme, m, found
+	}
+	type cell struct{ ns, allocs float64 }
+	cells := map[string]map[string]cell{}
+	for _, b := range benches {
+		scheme, m, ok := mode(b.Name)
+		if !ok {
+			continue
+		}
+		if cells[scheme] == nil {
+			cells[scheme] = map[string]cell{}
+		}
+		cells[scheme][m] = cell{ns: b.NsPerOp, allocs: b.Metrics["allocs/op"]}
+	}
+	schemes := make([]string, 0, len(cells))
+	for s := range cells {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	var out []telemetryOverhead
+	for _, s := range schemes {
+		event, ok := cells[s]["event"]
+		if !ok || event.ns <= 0 {
+			continue
+		}
+		to := telemetryOverhead{Scheme: s, EventNs: event.ns}
+		if fl, ok := cells[s]["flight"]; ok {
+			to.FlightNs = fl.ns
+			to.FlightPct = (fl.ns - event.ns) / event.ns * 100
+			to.FlightAllocs = fl.allocs
+		}
+		if pr, ok := cells[s]["probed"]; ok {
+			to.ProbedNs = pr.ns
+			to.ProbedPct = (pr.ns - event.ns) / event.ns * 100
+		}
+		if to.FlightNs == 0 && to.ProbedNs == 0 {
+			continue
+		}
+		out = append(out, to)
+	}
+	return out
+}
+
+// appendHistory appends one trajectory line to the JSONL history file.
+func appendHistory(path string, benches []benchResult) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	entry := historyEntry{GitRev: gitRev(), Benchmarks: benches}
+	if err := json.NewEncoder(f).Encode(entry); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shadowbench: trajectory appended to %s\n", path)
+	return nil
+}
+
+// gitRev best-effort resolves the short HEAD revision; empty when git or the
+// repository is unavailable (the history line is still useful without it).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// loadAgainst reads the comparison baseline: a report's benchmarks, or the
+// last line of a JSONL history file.
+func loadAgainst(path string) ([]benchResult, error) {
+	if !strings.HasSuffix(path, ".jsonl") {
+		rep, err := loadReport(path)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Benchmarks, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var last string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) != "" {
+			last = line
+		}
+	}
+	if last == "" {
+		return nil, fmt.Errorf("%s: empty history", path)
+	}
+	var entry historyEntry
+	if err := json.Unmarshal([]byte(last), &entry); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entry.Benchmarks, nil
+}
+
+// regressions lists benchmarks more than 10% slower than the baseline.
+func regressions(before, after []benchResult) []string {
+	prior := make(map[string]benchResult, len(before))
+	for _, b := range before {
+		prior[b.Name] = b
+	}
+	var out []string
+	for _, a := range after {
+		b, ok := prior[a.Name]
+		if !ok || b.NsPerOp <= 0 || a.NsPerOp <= 0 {
+			continue
+		}
+		if a.NsPerOp > b.NsPerOp*1.10 {
+			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
+				a.Name, b.NsPerOp, a.NsPerOp, (a.NsPerOp-b.NsPerOp)/b.NsPerOp*100))
+		}
+	}
+	return out
 }
 
 // loadReport reads a previously written benchReport.

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -26,6 +28,7 @@ import (
 
 	"shadow/internal/exp"
 	"shadow/internal/obs"
+	"shadow/internal/obs/flight"
 	"shadow/internal/obs/span"
 	"shadow/internal/report"
 	"shadow/internal/timing"
@@ -44,6 +47,8 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-experiment progress lines to stderr")
 	blame := flag.Bool("blame", false, "print a shadowtap stall-blame table covering every scheme run (forces sequential points)")
 	inspect := flag.String("inspect", "", "serve a live run inspector on this address (forces sequential points)")
+	flightCap := flag.Int("flight", 0, "flight recorder capacity in events (0 disables; forces sequential points)")
+	flightOut := flag.String("flight-out", "", "write the flight-recorder dump to this JSON file at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
@@ -73,11 +78,29 @@ func main() {
 		Cores:    *cores,
 		Seed:     *seed,
 	}
+	// Flight recording is opt-in here (unlike shadowsim): attaching probes
+	// forces the point sweep sequential, so the default stays parallel.
+	var ring *flight.Ring
+	if *flightCap > 0 {
+		ring = flight.NewRing(*flightCap)
+	}
+	watch := flight.NewWatch(ring)
+	defer func() {
+		// Deferred dump on panic: preserve the event window leading up to
+		// the failure.
+		if r := recover(); r != nil {
+			watch.Ring().Freeze()
+			dumpFlightOnPanic(watch, *flightOut)
+			panic(r) //shadowvet:ignore panicmsg -- re-raising the original panic value after the flight dump
+		}
+	}()
+
 	var rec *obs.Recorder
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || ring != nil {
 		rec = obs.NewRecorder(obs.Options{
 			Metrics: *metricsOut != "",
 			Events:  *traceOut != "",
+			Flight:  ring,
 		})
 		o.ProbeFor = rec.NewTrack
 	}
@@ -94,6 +117,10 @@ func main() {
 		o.SpansFor = func(label string) *span.Collector {
 			col := span.NewCollector(0)
 			spanRuns = append(spanRuns, spanRun{label: label, col: col})
+			if ring != nil {
+				// Each scheme run's attribution is independently conserved.
+				watch.Add(flight.Conservation(col.Aggregate))
+			}
 			return col
 		}
 	}
@@ -105,6 +132,7 @@ func main() {
 		return rows
 	}
 	var ins *obs.Inspector
+	var insShutdown func()
 	if *inspect != "" {
 		ins = obs.NewInspector(time.Now)
 		src := obs.InspectorSources{
@@ -112,17 +140,62 @@ func main() {
 		}
 		if rec != nil {
 			src.Events = rec.EventCount
+			if m := rec.Metrics(); m != nil {
+				src.Prom = func() []byte {
+					var b bytes.Buffer
+					if err := m.WritePrometheus(&b); err != nil {
+						return nil
+					}
+					return b.Bytes()
+				}
+			}
+		}
+		if ring != nil {
+			src.Flight = func() []byte {
+				var b bytes.Buffer
+				if err := watch.WriteDump(&b); err != nil {
+					return nil
+				}
+				return b.Bytes()
+			}
 		}
 		ins.SetSources(src)
 		srv := &http.Server{Addr: *inspect, Handler: ins.Handler()}
-		//shadowvet:ignore goroleak -- process-lifetime HTTP inspector; torn down only when the process exits
+		errc := make(chan error, 1)
 		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "inspector: %v\n", err)
-			}
+			errc <- srv.ListenAndServe()
 		}()
 		fmt.Fprintf(os.Stderr, "inspector: serving on %s\n", *inspect)
+		insShutdown = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "inspector: shutdown: %v\n", err)
+			}
+			if err := <-errc; err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "inspector: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "inspector: shut down after final snapshot\n")
+		}
 		o.Progress = ins.Observe
+	}
+
+	// Watchdog checks ride the progress callback (which forces sequential
+	// points, so the span collectors are only read from this goroutine).
+	// Flips are deliberately NOT watched here: several experiments measure
+	// corruption on purpose, so a flip is data, not an anomaly.
+	if ring != nil {
+		watch.OnTrip(func(tr flight.Trip) {
+			fmt.Fprintf(os.Stderr, "watchdog %s tripped at %d ps: %s (flight ring frozen)\n",
+				tr.Watchdog, tr.AtPS, tr.Detail)
+		})
+		prev := o.Progress
+		o.Progress = func(label string, now, total timing.Tick) {
+			if prev != nil {
+				prev(label, now, total)
+			}
+			watch.Check(now)
+		}
 	}
 
 	type result struct {
@@ -226,10 +299,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "metrics: %s\n", *metricsOut)
 		}
 	}
-	if *inspect != "" {
-		fmt.Fprintf(os.Stderr, "inspector: still serving on %s (ctrl-c to exit)\n", *inspect)
-		select {}
+	if *flightOut != "" && ring != nil {
+		f, err := os.Create(*flightOut)
+		exitOn(err)
+		exitOn(watch.WriteDump(f))
+		exitOn(f.Close())
+		fmt.Fprintf(os.Stderr, "flight: %d of %d events preserved -> %s\n",
+			ring.Len(), ring.Total(), *flightOut)
 	}
+	if insShutdown != nil {
+		insShutdown()
+	}
+	if tr := watch.Tripped(); tr != nil {
+		os.Exit(1)
+	}
+}
+
+// dumpFlightOnPanic best-effort writes the frozen ring during a panic unwind:
+// to -flight-out when given, else to stderr so the window is not lost.
+func dumpFlightOnPanic(watch *flight.Watch, path string) {
+	if watch.Ring() == nil {
+		return
+	}
+	if path != "" {
+		if f, err := os.Create(path); err == nil {
+			watch.WriteDump(f)
+			f.Close()
+			fmt.Fprintf(os.Stderr, "panic: flight dump written to %s\n", path)
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "panic: flight dump follows")
+	watch.WriteDump(os.Stderr)
 }
 
 func exitOn(err error) {

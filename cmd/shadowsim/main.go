@@ -11,6 +11,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -26,6 +28,7 @@ import (
 	"shadow/internal/hammer"
 	"shadow/internal/memctrl"
 	"shadow/internal/obs"
+	"shadow/internal/obs/flight"
 	"shadow/internal/obs/span"
 	"shadow/internal/report"
 	"shadow/internal/sim"
@@ -55,6 +58,9 @@ func main() {
 	progress := flag.Bool("progress", false, "print a stderr progress heartbeat")
 	blame := flag.Bool("blame", false, "print the shadowtap stall-blame breakdown after the run")
 	inspect := flag.String("inspect", "", "serve a live run inspector on this address (e.g. :8080)")
+	flightCap := flag.Int("flight", flight.DefaultCapacity, "flight recorder capacity in events (0 disables the always-on flight lane)")
+	flightOut := flag.String("flight-out", "", "write the flight-recorder dump (event window + watchdog trip) to this JSON file at exit")
+	stallP99US := flag.Int64("stall-p99-us", 0, "arm the stall-spike watchdog: trip when the p99 request stall over the trailing window exceeds this many simulated microseconds (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
@@ -76,12 +82,32 @@ func main() {
 	o := exp.RunOpts{Duration: timing.Tick(*durationUS) * timing.Microsecond, Cores: *cores, Seed: *seed}
 	geo := o.Geometry(g)
 
+	// The flight recorder is the always-on telemetry lane: a fixed ring of
+	// the last -flight hot-path events, recorded at zero allocations, dumped
+	// when a watchdog trips, the process panics, or -flight-out asks for it.
+	var ring *flight.Ring
+	if *flightCap > 0 {
+		ring = flight.NewRing(*flightCap)
+	}
+	watch := flight.NewWatch(ring)
+	defer func() {
+		// Deferred dump on panic: the ring holds the events leading up to
+		// the failure even when no watchdog fired.
+		if r := recover(); r != nil {
+			watch.Ring().Freeze()
+			dumpFlightOnPanic(watch, *flightOut)
+			panic(r) //shadowvet:ignore panicmsg -- re-raising the original panic value after the flight dump
+		}
+	}()
+
 	var rec *obs.Recorder
 	var probe *obs.Probe
-	if *traceOut != "" || *metricsOut != "" || *timeline {
+	needMetrics := *metricsOut != "" || *timeline || *inspect != ""
+	if *traceOut != "" || needMetrics || ring != nil {
 		rec = obs.NewRecorder(obs.Options{
-			Metrics: *metricsOut != "" || *timeline,
+			Metrics: needMetrics,
 			Events:  *traceOut != "",
+			Flight:  ring,
 		})
 		label := *scheme + "/" + *workload
 		if *attack != "" {
@@ -96,6 +122,9 @@ func main() {
 		if *timeline {
 			printTimeline(rec, 0)
 		}
+		// Attack runs dump the window on request but arm no watchdogs:
+		// bit flips are the experiment, not an anomaly.
+		writeFlightFile(watch, *flightOut)
 		return
 	}
 
@@ -151,10 +180,36 @@ func main() {
 	if *blame || *inspect != "" {
 		spans = span.NewCollector(0)
 	}
+
+	// Arm the anomaly watchdogs. A trip freezes the ring at that moment so
+	// the dump shows the events leading up to the anomaly, not its aftermath.
+	if ring != nil {
+		watch.Add(flight.FlipDetector(ring))
+		if spans != nil {
+			watch.Add(flight.Conservation(spans.Aggregate))
+		}
+		if *stallP99US > 0 {
+			watch.Add(flight.StallSpike(ring, 10*timing.Microsecond,
+				timing.Tick(*stallP99US)*timing.Microsecond))
+		}
+		watch.OnTrip(func(tr flight.Trip) {
+			fmt.Fprintf(os.Stderr, "watchdog %s tripped at %d ps: %s (flight ring frozen)\n",
+				tr.Watchdog, tr.AtPS, tr.Detail)
+		})
+		tick := progressFn
+		progressFn = func(now timing.Tick) {
+			if tick != nil {
+				tick(now)
+			}
+			watch.Check(now)
+		}
+	}
+
 	var ins *obs.Inspector
+	var insShutdown func()
 	if *inspect != "" {
 		label := *scheme + "/" + *workload
-		ins = startInspector(*inspect, label, rec, spans)
+		ins, insShutdown = startInspector(*inspect, label, rec, spans, watch)
 		tick := progressFn
 		total := o.Duration
 		progressFn = func(now timing.Tick) {
@@ -178,6 +233,9 @@ func main() {
 	hb.Done()
 	ins.Done()
 	exitOn(err)
+	// Final watchdog pass at run end: conservation over the complete span
+	// aggregate, flips from the last progress interval.
+	watch.Check(o.Duration)
 
 	fmt.Printf("scheme=%s workload=%s grade=%v hcnt=%d blast=%d duration=%v\n",
 		*scheme, *workload, g, *hcnt, *blast, o.Duration)
@@ -215,16 +273,22 @@ func main() {
 	if *timeline {
 		printTimeline(rec, o.Duration)
 	}
-	if *inspect != "" {
-		fmt.Printf("inspector: still serving on %s (ctrl-c to exit)\n", *inspect)
-		select {}
+	writeFlightFile(watch, *flightOut)
+	if insShutdown != nil {
+		insShutdown()
+	}
+	if tr := watch.Tripped(); tr != nil {
+		stopProfiles()
+		os.Exit(1)
 	}
 }
 
-// startInspector wires an obs.Inspector to the recorder and span collector
-// and serves it in the background. Sources run only on the simulation
-// goroutine (inside Observe); handlers serve cached snapshots.
-func startInspector(addr, label string, rec *obs.Recorder, spans *span.Collector) *obs.Inspector {
+// startInspector wires an obs.Inspector to the recorder, span collector, and
+// flight watch, and serves it in the background. Sources run only on the
+// simulation goroutine (inside Observe); handlers serve cached snapshots.
+// The returned shutdown func drains the server gracefully once the run (and
+// its final snapshot) is complete.
+func startInspector(addr, label string, rec *obs.Recorder, spans *span.Collector, watch *flight.Watch) (*obs.Inspector, func()) {
 	ins := obs.NewInspector(time.Now)
 	src := obs.InspectorSources{
 		Blame: func() []byte {
@@ -241,18 +305,74 @@ func startInspector(addr, label string, rec *obs.Recorder, spans *span.Collector
 				}
 				return []byte(b.String())
 			}
+			src.Prom = func() []byte {
+				var b bytes.Buffer
+				if err := m.WritePrometheus(&b); err != nil {
+					return nil
+				}
+				return b.Bytes()
+			}
+		}
+	}
+	if watch.Ring() != nil {
+		src.Flight = func() []byte {
+			var b bytes.Buffer
+			if err := watch.WriteDump(&b); err != nil {
+				return nil
+			}
+			return b.Bytes()
 		}
 	}
 	ins.SetSources(src)
 	srv := &http.Server{Addr: addr, Handler: ins.Handler()}
-	//shadowvet:ignore goroleak -- process-lifetime HTTP inspector; torn down only when the process exits
+	errc := make(chan error, 1)
 	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintf(os.Stderr, "inspector: %v\n", err)
-		}
+		errc <- srv.ListenAndServe()
 	}()
 	fmt.Fprintf(os.Stderr, "inspector: serving on %s\n", addr)
-	return ins
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "inspector: shutdown: %v\n", err)
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "inspector: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "inspector: shut down after final snapshot\n")
+	}
+	return ins, shutdown
+}
+
+// writeFlightFile writes the flight dump to path, if one was requested.
+func writeFlightFile(watch *flight.Watch, path string) {
+	if path == "" || watch.Ring() == nil {
+		return
+	}
+	f, err := os.Create(path)
+	exitOn(err)
+	exitOn(watch.WriteDump(f))
+	exitOn(f.Close())
+	fmt.Printf("flight: %d of %d events preserved -> %s\n",
+		watch.Ring().Len(), watch.Ring().Total(), path)
+}
+
+// dumpFlightOnPanic best-effort writes the frozen ring during a panic unwind:
+// to -flight-out when given, else to stderr so the window is not lost.
+func dumpFlightOnPanic(watch *flight.Watch, path string) {
+	if watch.Ring() == nil {
+		return
+	}
+	if path != "" {
+		if f, err := os.Create(path); err == nil {
+			watch.WriteDump(f)
+			f.Close()
+			fmt.Fprintf(os.Stderr, "panic: flight dump written to %s\n", path)
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "panic: flight dump follows")
+	watch.WriteDump(os.Stderr)
 }
 
 // writeObs dumps the recorder's trace and metrics to the requested files.

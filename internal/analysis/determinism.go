@@ -26,6 +26,10 @@ var restrictedPkgs = map[string]bool{
 	// and its wall-clock consumers (the progress heartbeat and the live
 	// inspector) take the clock as an injected func from the cmd layer.
 	"shadow/internal/obs": true,
+	// The flight recorder records from the Recorder's emit path and its
+	// watchdogs run at the progress cadence; both must stay reproducible so
+	// same-seed runs produce byte-identical flight dumps.
+	"shadow/internal/obs/flight": true,
 	// The span tracker stamps request milestones and attributes stall causes
 	// on the memory controller's critical path; a wall-clock read or an
 	// order-dependent fold there breaks the bit-identical-with-probes
@@ -44,7 +48,7 @@ var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "flag wall-clock reads, math/rand, and order-sensitive map iteration " +
-		"in the simulation packages (internal/{sim,dram,memctrl,shadow,mitigate,trace,exp,obs,obs/span})",
+		"in the simulation packages (internal/{sim,dram,memctrl,shadow,mitigate,trace,exp,obs,obs/span,obs/flight})",
 	Run: runDeterminism,
 }
 

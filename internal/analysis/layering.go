@@ -32,10 +32,11 @@ var layerImports = map[string][]string{
 	"minq": {"timing"},
 
 	// Leaf instrumentation and reporting.
-	"circuit":  {"timing"},
-	"obs":      {"timing"},
-	"obs/span": {"obs", "timing"},
-	"report":   {"obs", "obs/span", "timing"},
+	"circuit":    {"timing"},
+	"obs":        {"timing"},
+	"obs/span":   {"obs", "timing"},
+	"obs/flight": {"obs", "obs/span", "timing"},
+	"report":     {"obs", "obs/span", "timing"},
 
 	// The device and what plugs into it.
 	"dram":     {"hammer", "obs", "obs/span", "rng", "timing"},

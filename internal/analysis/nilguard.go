@@ -21,6 +21,11 @@ var nilGuarded = map[string]map[string]bool{
 		"Tracker":   true,
 		"Collector": true,
 	},
+	"shadow/internal/obs/flight": {
+		"Ring":    true,
+		"Watch":   true,
+		"CmdHash": true,
+	},
 }
 
 // NilGuard enforces the nil-safe hot-path contract: every exported method
@@ -33,7 +38,8 @@ var nilGuarded = map[string]map[string]bool{
 var NilGuard = &Analyzer{
 	Name: "nilguard",
 	Doc: "require exported methods on nil-safe obs hot-path types (obs.Probe, obs.Heartbeat, " +
-		"span.Tracker, span.Collector) to begin with a nil-receiver guard",
+		"span.Tracker, span.Collector, flight.Ring, flight.Watch, flight.CmdHash) to begin " +
+		"with a nil-receiver guard",
 	Run: runNilGuard,
 }
 

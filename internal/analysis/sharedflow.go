@@ -21,6 +21,11 @@ var sharedHotTypes = map[string]bool{
 	"minq.Queue":         true,
 	"sim.runner":         true,
 	"sim.core":           true,
+	// The flight recorder's ring is written on the command hot path and
+	// snapshotted from Inspector HTTP goroutines; its methods synchronize
+	// internally, so any *field* write from a goroutine or callback without
+	// the ring's own mutex is a bug.
+	"flight.Ring": true,
 }
 
 // SharedFlow protects those invariants at the concurrency boundary:

@@ -66,7 +66,11 @@ type Device struct {
 	// timestamp flip events.
 	probe      *obs.Probe
 	flipSeries *obs.Series
-	cmdAt      timing.Tick
+	// flipCount mirrors the flip series as a plain counter so the Inspector's
+	// Prometheus exposition (counters/gauges/histograms only) can alert on
+	// flips; series stay in the JSON/CSV dumps.
+	flipCount *obs.Counter
+	cmdAt     timing.Tick
 
 	// shadowtap span tracker (nil-inert): the device opens pre-attributed
 	// busy windows when REF/REFsb/RFM commands start their busy time, so the
@@ -123,6 +127,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		spans: cfg.Spans,
 	}
 	d.flipSeries = cfg.Probe.Series("dram/flips")
+	d.flipCount = cfg.Probe.Counter("dram/flips_total")
 	d.rfmCause = span.CauseRFM
 	if a, ok := mit.(span.Attributor); ok {
 		d.rfmCause = a.RFMBlame()
@@ -144,6 +149,7 @@ func NewDevice(cfg Config) (*Device, error) {
 					Bank: bankID, Row: da, Aux: int64(sub),
 				})
 				d.flipSeries.Add(d.cmdAt, 1)
+				d.flipCount.Inc()
 			}
 		}
 		d.banks[i] = b

@@ -193,7 +193,10 @@ type Controller struct {
 
 	// shadowscope instruments, resolved once at construction; all are
 	// nil-inert when no probe is attached.
-	probe       *obs.Probe
+	probe *obs.Probe
+	// emitEvents caches Probe.EventsOn at construction: metrics-only runs
+	// (the always-on flight-less config) skip per-command Event building.
+	emitEvents  bool
 	latHist     *obs.Histogram
 	depthHist   *obs.Histogram
 	localHist   *obs.Histogram
@@ -254,6 +257,7 @@ func New(dev *dram.Device, opt Options) *Controller {
 		c.actWindow[i] = -dev.Params().FAW
 	}
 	c.probe = opt.Probe
+	c.emitEvents = c.probe.EventsOn()
 	c.latHist = c.probe.Histogram("mc/read_latency_ticks")
 	c.depthHist = c.probe.Histogram("mc/queue_depth")
 	c.localHist = c.probe.Histogram("mc/row_hits_per_act")
@@ -593,7 +597,7 @@ func (c *Controller) tryTRR(now timing.Tick, i int) (timing.Tick, bool) {
 		panic(fmt.Sprintf("memctrl: TRR ACT: %v", err))
 	}
 	c.log(CmdACT, i, row, now)
-	if c.probe != nil {
+	if c.emitEvents {
 		c.probe.Emit(obs.Event{At: now, Kind: obs.KindTRR, Bank: i, Row: row})
 	}
 	b.trr = b.trr[1:]
@@ -645,6 +649,9 @@ func (c *Controller) log(kind CmdKind, bank, row int, at timing.Tick) {
 	case CmdRFM:
 		k, dur = obs.KindRFM, c.p.RFM
 		c.rfmSeries.Add(at, 1)
+	}
+	if !c.emitEvents {
+		return
 	}
 	c.probe.Emit(obs.Event{At: at, Dur: dur, Kind: k, Bank: bank, Row: row})
 }
@@ -1072,13 +1079,13 @@ func (c *Controller) performSwap(s *mitigate.SwapRequest, now timing.Tick) {
 	c.Stats.Swaps++
 	// The swap blocks the whole channel: every queued request waits on it.
 	c.spans.SetAllCauses(now, span.CauseSwap)
-	if c.probe != nil {
+	if c.emitEvents {
 		c.probe.Emit(obs.Event{
 			At: now, Dur: until - now, Kind: obs.KindSwap,
 			Bank: s.Bank, Row: s.RowA, Aux: int64(s.RowB),
 		})
-		c.blockSeries.Add(now, float64(until-now))
 	}
+	c.blockSeries.Add(now, float64(until-now))
 }
 
 // RowHitRate returns the fraction of column commands served without an ACT.

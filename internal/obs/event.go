@@ -31,6 +31,10 @@ const (
 	// memory request on a per-core lane track (Aux is the attributed stall;
 	// Label names the dominant cause).
 	KindSpan
+
+	// NumKinds sizes per-kind arrays (the flight recorder's kind counts);
+	// it is a count sentinel, not an event kind.
+	NumKinds
 )
 
 // String implements fmt.Stringer.

@@ -1,0 +1,210 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"shadow/internal/obs"
+	"shadow/internal/timing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Ring
+	r.Record(obs.Event{Kind: obs.KindACT}) // must not panic
+	r.Freeze()
+	if r.Frozen() {
+		t.Fatal("nil ring reports frozen")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil ring Snapshot = %v, want nil", got)
+	}
+	if r.Len() != 0 || r.Cap() != 0 || r.Total() != 0 || r.KindCount(obs.KindACT) != 0 {
+		t.Fatal("nil ring reports non-zero sizes")
+	}
+
+	var w *Watch
+	w.Add(Check{Name: "x", Probe: func(timing.Tick) (string, bool) { return "", true }})
+	w.OnTrip(func(Trip) {})
+	if w.Check(0) != nil || w.Tripped() != nil || w.Ring() != nil {
+		t.Fatal("nil watch tripped")
+	}
+	var buf bytes.Buffer
+	if err := w.WriteDump(&buf); err != nil {
+		t.Fatalf("nil watch WriteDump: %v", err)
+	}
+
+	var h *CmdHash
+	h.Note(1, 2, 3, 4)
+	if h.Sum() != NewCmdHash().Sum() {
+		t.Fatal("nil CmdHash sum != empty hash")
+	}
+}
+
+// TestWraparoundAtExactCapacity drives the ring to exactly its capacity,
+// then one past it, checking the oldest-first window at each boundary.
+func TestWraparoundAtExactCapacity(t *testing.T) {
+	const capacity = 8
+	r := NewRing(capacity)
+	for i := 0; i < capacity; i++ {
+		r.Record(obs.Event{At: timing.Tick(i), Kind: obs.KindACT})
+	}
+	if r.Len() != capacity || r.Total() != capacity {
+		t.Fatalf("Len/Total = %d/%d, want %d/%d", r.Len(), r.Total(), capacity, capacity)
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if e.At != timing.Tick(i) {
+			t.Fatalf("at capacity: event %d has At=%d, want %d", i, e.At, i)
+		}
+	}
+
+	// One more overwrites the oldest: window becomes [1..capacity].
+	r.Record(obs.Event{At: capacity, Kind: obs.KindPRE})
+	if r.Len() != capacity {
+		t.Fatalf("after wrap: Len = %d, want %d", r.Len(), capacity)
+	}
+	if r.Total() != capacity+1 {
+		t.Fatalf("after wrap: Total = %d, want %d", r.Total(), capacity+1)
+	}
+	snap = r.Snapshot()
+	for i, e := range snap {
+		if e.At != timing.Tick(i+1) {
+			t.Fatalf("after wrap: event %d has At=%d, want %d", i, e.At, i+1)
+		}
+	}
+	// Kind counts survive the overwrite.
+	if got := r.KindCount(obs.KindACT); got != capacity {
+		t.Fatalf("KindCount(ACT) = %d, want %d", got, capacity)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := NewRing(0).Cap(); got != DefaultCapacity {
+		t.Fatalf("NewRing(0).Cap() = %d, want %d", got, DefaultCapacity)
+	}
+}
+
+func TestFreezeStopsRecording(t *testing.T) {
+	r := NewRing(4)
+	r.Record(obs.Event{At: 1, Kind: obs.KindACT})
+	r.Freeze()
+	if !r.Frozen() {
+		t.Fatal("not frozen after Freeze")
+	}
+	r.Record(obs.Event{At: 2, Kind: obs.KindPRE})
+	if r.Total() != 1 || r.Len() != 1 {
+		t.Fatalf("frozen ring accepted an event: Total=%d Len=%d", r.Total(), r.Len())
+	}
+	r.Freeze() // idempotent
+	if snap := r.Snapshot(); len(snap) != 1 || snap[0].At != 1 {
+		t.Fatalf("frozen window disturbed: %v", snap)
+	}
+}
+
+// TestRecordDoesNotAllocate pins the hot path: recording into the ring —
+// including past the wraparound point — must stay at 0 allocs/op.
+func TestRecordDoesNotAllocate(t *testing.T) {
+	r := NewRing(64)
+	e := obs.Event{At: 1, Kind: obs.KindACT, Bank: 3, Row: 99}
+	if avg := testing.AllocsPerRun(1000, func() { r.Record(e) }); avg != 0 {
+		t.Fatalf("Ring.Record allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestConcurrentWriterSnapshot exercises the writer/reader race the -race
+// lane is meant to catch: one goroutine records while another snapshots.
+func TestConcurrentWriterSnapshot(t *testing.T) {
+	r := NewRing(32)
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			r.Record(obs.Event{At: timing.Tick(i), Kind: obs.KindACT})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n/10; i++ {
+			snap := r.Snapshot()
+			if len(snap) > r.Cap() {
+				t.Errorf("snapshot longer than capacity: %d", len(snap))
+				return
+			}
+			_ = r.Len()
+			_ = r.Total()
+			_ = r.KindCount(obs.KindACT)
+		}
+	}()
+	wg.Wait()
+	if r.Total() != n {
+		t.Fatalf("Total = %d, want %d", r.Total(), n)
+	}
+}
+
+func TestDumpShape(t *testing.T) {
+	r := NewRing(4)
+	r.Record(obs.Event{At: 10, Dur: 5, Kind: obs.KindRFM, Bank: 2, Row: -1})
+	r.Record(obs.Event{At: 20, Kind: obs.KindShuffle, Bank: 2, Row: 7, Aux: 1})
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, r, &Trip{Watchdog: "bit-flip", Detail: "d", AtPS: 30}); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if d.Capacity != 4 || d.Total != 2 || len(d.Events) != 2 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if d.Events[0].Kind != "RFM" || d.Events[1].Kind != "shuffle" {
+		t.Fatalf("dump kinds = %q, %q", d.Events[0].Kind, d.Events[1].Kind)
+	}
+	if d.Trip == nil || d.Trip.Watchdog != "bit-flip" || d.Trip.AtPS != 30 {
+		t.Fatalf("dump trip = %+v", d.Trip)
+	}
+}
+
+// TestDumpDeterministic: identical rings serialize to identical bytes.
+func TestDumpDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRing(8)
+		for i := 0; i < 12; i++ {
+			r.Record(obs.Event{At: timing.Tick(i), Kind: obs.Kind(i % int(obs.NumKinds)), Bank: i % 4, Row: i})
+		}
+		var buf bytes.Buffer
+		if err := WriteDump(&buf, r, nil); err != nil {
+			t.Fatalf("WriteDump: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := build(), build(); !bytes.Equal(a, b) {
+		t.Fatalf("dumps differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestRecorderTee checks the obs wiring: a recorder with Flight set tees
+// every emitted event into the ring even with the event log disabled.
+func TestRecorderTee(t *testing.T) {
+	ring := NewRing(16)
+	rec := obs.NewRecorder(obs.Options{Flight: ring})
+	p := rec.NewTrack("run")
+	if !p.EventsOn() {
+		t.Fatal("EventsOn = false with a flight sink attached")
+	}
+	p.Emit(obs.Event{At: 1, Kind: obs.KindACT, Bank: 0, Row: 5})
+	p.Emit(obs.Event{At: 2, Kind: obs.KindFlip, Bank: 1, Row: 9})
+	if rec.EventCount() != 0 {
+		t.Fatalf("event log grew to %d with Events off", rec.EventCount())
+	}
+	if ring.Total() != 2 || ring.KindCount(obs.KindFlip) != 1 {
+		t.Fatalf("ring missed the tee: total=%d flips=%d", ring.Total(), ring.KindCount(obs.KindFlip))
+	}
+	// The probe's PID stamping happens before the tee.
+	if snap := ring.Snapshot(); snap[0].PID != 0 {
+		t.Fatalf("teed event PID = %d, want track PID 0", snap[0].PID)
+	}
+}

@@ -1,0 +1,217 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+
+	"shadow/internal/obs"
+	"shadow/internal/obs/span"
+	"shadow/internal/timing"
+)
+
+// Check is one anomaly watchdog: a named invariant probe. Probe is called
+// at the progress cadence (never on the command hot path) with the current
+// simulated time and reports whether the invariant is violated, with a
+// human-readable detail when it is.
+type Check struct {
+	Name  string
+	Probe func(now timing.Tick) (detail string, tripped bool)
+}
+
+// Trip records the first watchdog violation of a run.
+type Trip struct {
+	Watchdog string `json:"watchdog"`
+	Detail   string `json:"detail"`
+	AtPS     int64  `json:"at_ps"`
+}
+
+// Watch runs a set of Checks against a Ring and freezes the ring on the
+// first trip, preserving the event window that preceded the anomaly. A nil
+// *Watch is valid and inert.
+type Watch struct {
+	ring   *Ring
+	checks []Check
+	trip   *Trip
+	onTrip func(Trip)
+}
+
+// NewWatch builds a watch over ring (which may be nil: checks still run,
+// there is just no window to freeze).
+func NewWatch(ring *Ring) *Watch {
+	return &Watch{ring: ring}
+}
+
+// Ring returns the watched ring.
+func (w *Watch) Ring() *Ring {
+	if w == nil {
+		return nil
+	}
+	return w.ring
+}
+
+// Add registers a check. Checks run in registration order; the first to
+// trip wins and later ones are never consulted again.
+func (w *Watch) Add(c Check) {
+	if w == nil || c.Probe == nil {
+		return
+	}
+	w.checks = append(w.checks, c)
+}
+
+// OnTrip registers a hook invoked once, at the moment of the first trip
+// (after the ring is frozen). Used by the cmd layer to log immediately
+// rather than at run end.
+func (w *Watch) OnTrip(fn func(Trip)) {
+	if w == nil {
+		return
+	}
+	w.onTrip = fn
+}
+
+// Check runs every registered check once. On the first violation it freezes
+// the ring, records the Trip, and fires the OnTrip hook. Once tripped it
+// returns the recorded trip without re-running anything, so the first
+// anomaly's window is never disturbed by later ones.
+func (w *Watch) Check(now timing.Tick) *Trip {
+	if w == nil {
+		return nil
+	}
+	if w.trip != nil {
+		return w.trip
+	}
+	for _, c := range w.checks {
+		detail, bad := c.Probe(now)
+		if !bad {
+			continue
+		}
+		t := Trip{Watchdog: c.Name, Detail: detail, AtPS: int64(now)}
+		w.trip = &t
+		w.ring.Freeze()
+		if w.onTrip != nil {
+			w.onTrip(t)
+		}
+		return w.trip
+	}
+	return nil
+}
+
+// Tripped returns the recorded trip, nil while all invariants hold.
+func (w *Watch) Tripped() *Trip {
+	if w == nil {
+		return nil
+	}
+	return w.trip
+}
+
+// Conservation builds the span-conservation watchdog: it trips the moment
+// the aggregate blame stops satisfying sum(Stall) == Resident. agg is
+// polled each check (typically Tracker.Aggregate or a Collector merge).
+func Conservation(agg func() span.Aggregate) Check {
+	return Check{Name: "span-conservation", Probe: func(timing.Tick) (string, bool) {
+		v := agg().Violation()
+		return v, v != ""
+	}}
+}
+
+// FlipDetector builds the bit-flip watchdog: it trips on the first Row
+// Hammer flip the ring has recorded. Flip counts survive ring overwriting,
+// so a flip is never missed even if its event has rotated out by the next
+// check.
+func FlipDetector(r *Ring) Check {
+	return Check{Name: "bit-flip", Probe: func(timing.Tick) (string, bool) {
+		n := r.KindCount(obs.KindFlip)
+		if n == 0 {
+			return "", false
+		}
+		return fmt.Sprintf("%d Row Hammer bit flip(s) recorded", n), true
+	}}
+}
+
+// StallSpike builds the stall-spike watchdog: it trips when the p99
+// attributed stall of the request spans completed within the trailing
+// window exceeds limit. The p99 is computed over the ring's buffered
+// KindSpan events (Aux carries each span's attributed stall), sorted — a
+// deterministic, off-hot-path computation.
+func StallSpike(r *Ring, window, limit timing.Tick) Check {
+	return Check{Name: "stall-spike", Probe: func(now timing.Tick) (string, bool) {
+		var stalls []int64
+		for _, e := range r.Snapshot() {
+			if e.Kind != obs.KindSpan {
+				continue
+			}
+			if done := e.At + e.Dur; done < now-window {
+				continue
+			}
+			stalls = append(stalls, e.Aux)
+		}
+		if len(stalls) == 0 {
+			return "", false
+		}
+		sort.Slice(stalls, func(i, j int) bool { return stalls[i] < stalls[j] })
+		rank := (99*len(stalls) + 99) / 100 // ceil(0.99*n)
+		if rank > len(stalls) {
+			rank = len(stalls)
+		}
+		p99 := stalls[rank-1]
+		if p99 <= int64(limit) {
+			return "", false
+		}
+		return fmt.Sprintf("p99 request stall %d ps > limit %d ps over %d spans in trailing %d ps",
+			p99, int64(limit), len(stalls), int64(window)), true
+	}}
+}
+
+// Divergence builds a generic two-source comparison watchdog (scheduler
+// equivalence: the event-driven scheduler's command-log hash against a
+// reference). It trips when the two sums differ; callers ensure both
+// sources are at the same checkpoint when the check runs.
+func Divergence(name string, want, got func() uint64) Check {
+	return Check{Name: name, Probe: func(timing.Tick) (string, bool) {
+		w, g := want(), got()
+		if w == g {
+			return "", false
+		}
+		return fmt.Sprintf("command-log hash diverged: want %#016x, got %#016x", w, g), true
+	}}
+}
+
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// CmdHash accumulates an order-sensitive FNV-1a hash of a command log:
+// feed it (kind, bank, row, at) from an OnCommand hook and compare Sums
+// across schedulers via the Divergence watchdog. Not safe for concurrent
+// use (commands are issued from the single simulation goroutine); a nil
+// *CmdHash is valid and inert.
+type CmdHash struct {
+	sum uint64
+}
+
+// NewCmdHash returns an empty hash.
+func NewCmdHash() *CmdHash { return &CmdHash{sum: fnvOffset} }
+
+// Note folds one command into the hash.
+func (h *CmdHash) Note(kind, bank, row int, at timing.Tick) {
+	if h == nil {
+		return
+	}
+	s := h.sum
+	for _, v := range [4]uint64{uint64(kind), uint64(bank), uint64(uint32(row)), uint64(at)} {
+		for i := 0; i < 8; i++ {
+			s ^= (v >> (8 * i)) & 0xff
+			s *= fnvPrime
+		}
+	}
+	h.sum = s
+}
+
+// Sum returns the accumulated hash (the FNV-1a offset basis when empty).
+func (h *CmdHash) Sum() uint64 {
+	if h == nil {
+		return fnvOffset
+	}
+	return h.sum
+}

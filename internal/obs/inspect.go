@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -22,6 +23,13 @@ type InspectorSources struct {
 	Blame func() []byte
 	// Events returns the number of recorded trace events (Recorder.EventCount).
 	Events func() int64
+	// Prom returns the instrument registry rendered in Prometheus text
+	// exposition format (e.g. a closure over Metrics.WritePrometheus); the
+	// /metrics endpoint appends it to the run-status metrics.
+	Prom func() []byte
+	// Flight returns the flight-recorder dump as JSON (e.g. a closure over
+	// flight.Watch.WriteDump), served on /flight.json.
+	Flight func() []byte
 }
 
 // Inspector is the live run inspector behind the -inspect flag: an opt-in
@@ -51,6 +59,8 @@ type Inspector struct {
 	done        bool
 	metricsJSON []byte
 	blameJSON   []byte
+	promText    []byte
+	flightJSON  []byte
 
 	src    InspectorSources
 	minGap time.Duration
@@ -120,6 +130,12 @@ func (ins *Inspector) refreshLocked() {
 	if ins.src.Events != nil {
 		ins.events = ins.src.Events()
 	}
+	if ins.src.Prom != nil {
+		ins.promText = ins.src.Prom()
+	}
+	if ins.src.Flight != nil {
+		ins.flightJSON = ins.src.Flight()
+	}
 }
 
 // Done marks the run finished and takes a final snapshot. Safe on a nil
@@ -147,8 +163,17 @@ type status struct {
 	ElapsedSec  float64 `json:"elapsed_sec"`
 }
 
+// snap is one consistent copy of the cached state, taken under the lock.
+type snap struct {
+	st      status
+	metrics []byte
+	blame   []byte
+	prom    []byte
+	flight  []byte
+}
+
 // snapshot copies the current state under the lock.
-func (ins *Inspector) snapshot() (status, []byte, []byte) {
+func (ins *Inspector) snapshot() snap {
 	ins.mu.Lock()
 	defer ins.mu.Unlock()
 	st := status{
@@ -165,7 +190,25 @@ func (ins *Inspector) snapshot() (status, []byte, []byte) {
 	if ins.seen {
 		st.ElapsedSec = ins.clock().Sub(ins.started).Seconds()
 	}
-	return st, ins.metricsJSON, ins.blameJSON
+	return snap{st: st, metrics: ins.metricsJSON, blame: ins.blameJSON, prom: ins.promText, flight: ins.flightJSON}
+}
+
+// writeRunMetrics renders the run-status half of the /metrics payload:
+// progress, rate, and event count as Prometheus gauges/counters, ahead of
+// the cached instrument-registry exposition.
+func writeRunMetrics(w io.Writer, st status) {
+	state := int64(0)
+	if st.Done {
+		state = 1
+	}
+	fmt.Fprintf(w, "# HELP shadow_run_info Run identity; the label carries the run or experiment-point name.\n")
+	fmt.Fprintf(w, "# TYPE shadow_run_info gauge\nshadow_run_info{%s} 1\n", PromLabel("label", st.Label))
+	fmt.Fprintf(w, "# TYPE shadow_run_done gauge\nshadow_run_done %d\n", state)
+	fmt.Fprintf(w, "# TYPE shadow_run_progress_ratio gauge\nshadow_run_progress_ratio %g\n", st.Percent/100)
+	fmt.Fprintf(w, "# TYPE shadow_run_sim_picoseconds gauge\nshadow_run_sim_picoseconds %d\n", st.SimNowPS)
+	fmt.Fprintf(w, "# TYPE shadow_run_sim_total_picoseconds gauge\nshadow_run_sim_total_picoseconds %d\n", st.SimTotalPS)
+	fmt.Fprintf(w, "# TYPE shadow_run_sim_us_per_second gauge\nshadow_run_sim_us_per_second %g\n", st.SimUSPerSec)
+	fmt.Fprintf(w, "# TYPE shadow_run_events_total counter\nshadow_run_events_total %d\n", st.Events)
 }
 
 // Handler returns the inspector's HTTP handler:
@@ -174,35 +217,66 @@ func (ins *Inspector) snapshot() (status, []byte, []byte) {
 //	/status.json  heartbeat state (progress, rate, event count)
 //	/metrics.json latest metrics snapshot
 //	/blame.json   rolling blame breakdown
+//	/flight.json  flight-recorder dump (event window + watchdog trip)
+//	/metrics      Prometheus text exposition (run status + instruments)
+//	/healthz      liveness probe (200 "ok")
+//
+// Every JSON endpoint sends Cache-Control: no-store — the payloads change
+// every refresh and must never be served stale by an intermediary.
 func (ins *Inspector) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status.json", func(w http.ResponseWriter, r *http.Request) {
-		st, _, _ := ins.snapshot()
+		s := ins.snapshot()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(st)
+		w.Header().Set("Cache-Control", "no-store")
+		json.NewEncoder(w).Encode(s.st)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		_, metrics, _ := ins.snapshot()
+		metrics := ins.snapshot().metrics
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		if len(metrics) == 0 {
 			metrics = []byte("{}\n")
 		}
 		w.Write(metrics)
 	})
 	mux.HandleFunc("/blame.json", func(w http.ResponseWriter, r *http.Request) {
-		_, _, blame := ins.snapshot()
+		blame := ins.snapshot().blame
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		if len(blame) == 0 {
 			blame = []byte("[]\n")
 		}
 		w.Write(blame)
+	})
+	mux.HandleFunc("/flight.json", func(w http.ResponseWriter, r *http.Request) {
+		flight := ins.snapshot().flight
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		if len(flight) == 0 {
+			flight = []byte("{}\n")
+		}
+		w.Write(flight)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := ins.snapshot()
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		w.Header().Set("Cache-Control", "no-store")
+		writeRunMetrics(w, s.st)
+		w.Write(s.prom)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		st, _, blame := ins.snapshot()
+		s := ins.snapshot()
+		st, blame := s.st, s.blame
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		state := "running"
 		if st.Done {
@@ -214,7 +288,7 @@ func (ins *Inspector) Handler() http.Handler {
 			htmlEscape(st.Label), state, st.Percent,
 			float64(st.SimNowPS)/1e6, float64(st.SimTotalPS)/1e6,
 			st.SimUSPerSec, st.Events, st.ElapsedSec)
-		fmt.Fprintf(w, `<p><a href="/status.json">status.json</a> · <a href="/metrics.json">metrics.json</a> · <a href="/blame.json">blame.json</a></p>`)
+		fmt.Fprintf(w, `<p><a href="/status.json">status.json</a> · <a href="/metrics.json">metrics.json</a> · <a href="/blame.json">blame.json</a> · <a href="/flight.json">flight.json</a> · <a href="/metrics">metrics (Prometheus)</a> · <a href="/healthz">healthz</a></p>`)
 		if len(blame) > 0 {
 			fmt.Fprintf(w, "<h3>rolling blame</h3><pre>%s</pre>", htmlEscape(string(blame)))
 		}

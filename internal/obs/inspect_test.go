@@ -129,6 +129,98 @@ func TestInspectorEndpoints(t *testing.T) {
 	nilIns.Done()
 }
 
+// TestInspectorScrapeEndpoints covers the Prometheus exposition, the
+// liveness probe, the flight dump, and the no-store cache contract on every
+// JSON endpoint.
+func TestInspectorScrapeEndpoints(t *testing.T) {
+	now := time.Unix(0, 0)
+	ins := NewInspector(func() time.Time { return now })
+
+	m := newMetrics(timing.Microsecond)
+	m.Counter("run/dram/flips_total").Add(2)
+	var promBuf []byte
+	ins.SetSources(InspectorSources{
+		Prom: func() []byte {
+			var b strings.Builder
+			m.WritePrometheus(&b)
+			promBuf = []byte(b.String())
+			return promBuf
+		},
+		Flight: func() []byte { return []byte(`{"capacity":8,"events":[]}` + "\n") },
+		Events: func() int64 { return 7 },
+	})
+
+	srv := httptest.NewServer(ins.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, map[string][]string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	if code, body, _ := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	// Pre-run /flight.json: a valid empty document.
+	if code, body, _ := get("/flight.json"); code != 200 || body != "{}\n" {
+		t.Errorf("pre-run /flight.json = %d %q", code, body)
+	}
+
+	ins.Observe("shadow/mix", 30*timing.Microsecond, 60*timing.Microsecond)
+
+	code, body, hdr := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr["Content-Type"][0]; ct != ContentTypePrometheus {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		`shadow_run_info{label="shadow/mix"} 1`,
+		"shadow_run_done 0",
+		"shadow_run_progress_ratio 0.5",
+		"shadow_run_events_total 7",
+		`shadow_counter{name="run/dram/flips_total"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Every line must be valid exposition text.
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("/metrics line %d invalid: %q", i+1, line)
+		}
+	}
+
+	if _, body, _ := get("/flight.json"); !strings.Contains(body, `"capacity":8`) {
+		t.Errorf("/flight.json = %q", body)
+	}
+
+	for _, path := range []string{"/status.json", "/metrics.json", "/blame.json", "/flight.json", "/metrics", "/healthz"} {
+		if _, _, hdr := get(path); len(hdr["Cache-Control"]) == 0 || hdr["Cache-Control"][0] != "no-store" {
+			t.Errorf("%s lacks Cache-Control: no-store (%v)", path, hdr["Cache-Control"])
+		}
+	}
+
+	ins.Done()
+	if _, body, _ := get("/metrics"); !strings.Contains(body, "shadow_run_done 1") {
+		t.Errorf("/metrics after Done:\n%s", body)
+	}
+}
+
 // TestInspectorLabelChangeResetsRate checks a new run label restarts the
 // rate baseline instead of blending two runs' progress.
 func TestInspectorLabelChangeResetsRate(t *testing.T) {
@@ -140,7 +232,7 @@ func TestInspectorLabelChangeResetsRate(t *testing.T) {
 	ins.Observe("a", 90*timing.Microsecond, 100*timing.Microsecond)
 
 	ins.Observe("b", 5*timing.Microsecond, 100*timing.Microsecond)
-	st, _, _ := ins.snapshot()
+	st := ins.snapshot().st
 	if st.Label != "b" {
 		t.Fatalf("label = %q, want b", st.Label)
 	}

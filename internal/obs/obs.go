@@ -40,6 +40,14 @@ import (
 // derive distinct PIDs without registration.
 const trackStride = 64
 
+// EventSink receives every emitted event, even when the growable event log
+// (Options.Events) is off. The flight recorder (obs/flight.Ring) implements
+// it with a fixed-capacity overwrite-oldest ring, which is why the tee runs
+// unconditionally: a sink that cannot grow is safe to leave always on.
+type EventSink interface {
+	Record(Event)
+}
+
 // Options selects what a Recorder collects. The zero value collects
 // nothing (useful only for benchmarks of the probe overhead itself).
 type Options struct {
@@ -48,6 +56,10 @@ type Options struct {
 	Metrics bool
 	// Events enables the structured event sink.
 	Events bool
+	// Flight, when non-nil, receives every emitted event regardless of
+	// Events: the always-on flight recorder lane. The sink must be
+	// bounded (overwrite-oldest); it is called on the simulation hot path.
+	Flight EventSink
 	// SampleInterval is the bucket width of every time series (default
 	// 1 us of simulated time).
 	SampleInterval timing.Tick
@@ -113,6 +125,9 @@ func (r *Recorder) Dropped() int64 { return r.dropped }
 func (r *Recorder) Tracks() []Track { return r.tracks }
 
 func (r *Recorder) emit(e Event) {
+	if r.opt.Flight != nil {
+		r.opt.Flight.Record(e)
+	}
 	if !r.opt.Events {
 		return
 	}
@@ -148,6 +163,13 @@ type Probe struct {
 
 // Enabled reports whether the probe records anything at all.
 func (p *Probe) Enabled() bool { return p != nil }
+
+// EventsOn reports whether emitted events reach any sink — the growable
+// event log or a flight recorder. Hot paths that build an Event per command
+// may skip the construction entirely when it is false.
+func (p *Probe) EventsOn() bool {
+	return p != nil && (p.rec.opt.Events || p.rec.opt.Flight != nil)
+}
 
 // ForChannel derives a per-channel probe: channel ch's events land on
 // PID base+ch and its metric names gain a "ch<N>/" prefix. Channel 0 is

@@ -246,6 +246,17 @@ func (a Aggregate) StallTotal() timing.Tick {
 // to total wait ticks.
 func (a Aggregate) Conserved() bool { return a.StallTotal() == a.Resident }
 
+// Violation returns "" while the conservation invariant holds, otherwise a
+// description of the mismatch. The flight-recorder conservation watchdog
+// trips on a non-empty result.
+func (a Aggregate) Violation() string {
+	if a.Conserved() {
+		return ""
+	}
+	return fmt.Sprintf("span conservation violated: attributed %d ticks != resident %d ticks over %d spans (delta %+d)",
+		a.StallTotal(), a.Resident, a.Spans, a.StallTotal()-a.Resident)
+}
+
 // bankTimeline attributes a bank's time: every tick since `since` belongs to
 // `cause`; earlier ticks are folded into cum.
 type bankTimeline struct {

@@ -6,6 +6,8 @@ import (
 	"shadow/internal/dram"
 	"shadow/internal/hammer"
 	"shadow/internal/memctrl"
+	"shadow/internal/obs"
+	"shadow/internal/obs/flight"
 	"shadow/internal/shadow"
 	"shadow/internal/timing"
 	"shadow/internal/trace"
@@ -22,6 +24,12 @@ import (
 // steadyRunner builds a runner and pumps it past warmup so pools and queue
 // capacities have reached their high-water marks.
 func steadyRunner(t *testing.T, p *timing.Params, mit dram.Mitigator) *runner {
+	return steadyProbedRunner(t, p, mit, nil)
+}
+
+// steadyProbedRunner is steadyRunner with an optional probe attached, for
+// pinning the instrumented hot path.
+func steadyProbedRunner(t *testing.T, p *timing.Params, mit dram.Mitigator, probe *obs.Probe) *runner {
 	t.Helper()
 	g := smallGeo()
 	profiles := trace.MixHigh(2)
@@ -35,6 +43,7 @@ func steadyRunner(t *testing.T, p *timing.Params, mit dram.Mitigator) *runner {
 		DeviceMit: mit,
 		Workload:  trace.Generators(profiles, g, 42),
 		Duration:  timing.Second, // far beyond what the test ever simulates
+		Probe:     probe,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -66,6 +75,24 @@ func TestTickDoesNotAllocate(t *testing.T) {
 				t.Errorf("runner.tick allocates %.3f objects/op in steady state; want 0", avg)
 			}
 		})
+	}
+}
+
+// TestTickWithFlightDoesNotAllocate pins the always-on telemetry lane: a
+// probe whose recorder tees every event into a flight ring (no metrics
+// registry, no growable event log — the budgeted production config's event
+// path) must keep the steady-state loop at 0 allocs/op. Event structs are
+// built on the stack and the ring overwrites in place, so enabling the
+// flight recorder costs copies, never heap.
+func TestTickWithFlightDoesNotAllocate(t *testing.T) {
+	ring := flight.NewRing(flight.DefaultCapacity)
+	rec := obs.NewRecorder(obs.Options{Flight: ring})
+	r := steadyProbedRunner(t, shadowParams(64), shadow.New(shadow.Options{Seed: 99}), rec.NewTrack("flight"))
+	if avg := testing.AllocsPerRun(2000, r.tick); avg != 0 {
+		t.Errorf("runner.tick with flight recorder allocates %.3f objects/op in steady state; want 0", avg)
+	}
+	if ring.Total() == 0 {
+		t.Fatal("flight ring recorded nothing; the 0-alloc result is vacuous")
 	}
 }
 

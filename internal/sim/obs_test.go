@@ -8,6 +8,7 @@ import (
 	"shadow/internal/dram"
 	"shadow/internal/hammer"
 	"shadow/internal/obs"
+	"shadow/internal/obs/flight"
 	"shadow/internal/obs/span"
 	"shadow/internal/shadow"
 	"shadow/internal/timing"
@@ -85,6 +86,20 @@ func TestObservationDoesNotPerturbStats(t *testing.T) {
 	spanFullCol := span.NewCollector(0)
 	spanFull := view(run(spanRec.NewTrack("s"), spanFullCol))
 
+	// The always-on telemetry config — metrics plus a flight ring, no
+	// growable event log — is held to the same neutrality bar: the tee in
+	// Recorder.emit and the emitEvents fast path in the controller must not
+	// move a single statistic.
+	flightRing := flight.NewRing(1024)
+	flightRec := obs.NewRecorder(obs.Options{Metrics: true, Flight: flightRing})
+	flighted := view(run(flightRec.NewTrack("fl"), nil))
+
+	// And flight combined with spans and the event log (everything on).
+	flightFullRing := flight.NewRing(1024)
+	flightFullRec := obs.NewRecorder(obs.Options{Metrics: true, Events: true, Flight: flightFullRing})
+	flightFullCol := span.NewCollector(0)
+	flightFull := view(run(flightFullRec.NewTrack("ff"), flightFullCol))
+
 	if !reflect.DeepEqual(bare, metrics) {
 		t.Errorf("metrics-only run diverged from unobserved run:\n bare: %+v\n metrics: %+v", bare, metrics)
 	}
@@ -96,6 +111,24 @@ func TestObservationDoesNotPerturbStats(t *testing.T) {
 	}
 	if !reflect.DeepEqual(bare, spanFull) {
 		t.Errorf("span+trace run diverged from unobserved run:\n bare: %+v\n span+trace: %+v", bare, spanFull)
+	}
+	if !reflect.DeepEqual(bare, flighted) {
+		t.Errorf("flight-recorded run diverged from unobserved run:\n bare: %+v\n flight: %+v", bare, flighted)
+	}
+	if !reflect.DeepEqual(bare, flightFull) {
+		t.Errorf("flight+span+trace run diverged from unobserved run:\n bare: %+v\n flight+all: %+v", bare, flightFull)
+	}
+
+	// The flight runs must actually have recorded, or their equalities are
+	// vacuous; the everything-on ring additionally sees span events.
+	if flightRing.Total() == 0 {
+		t.Fatal("flight run recorded no events")
+	}
+	if flightRing.KindCount(obs.KindACT) == 0 {
+		t.Error("flight ring captured no ACT events")
+	}
+	if flightFullRing.KindCount(obs.KindSpan) == 0 {
+		t.Error("flight+span ring captured no span events")
 	}
 
 	// The span runs must have recorded conserved spans, or their equalities

@@ -1,0 +1,5 @@
+//go:build !race
+
+package shadow_test
+
+const raceEnabled = false

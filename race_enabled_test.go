@@ -1,0 +1,8 @@
+//go:build race
+
+package shadow_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation multiplies the cost of every mutex operation and
+// makes wall-clock overhead measurements meaningless.
+const raceEnabled = true

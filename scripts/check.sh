@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> gofmt"
-unformatted=$(gofmt -l cmd internal examples bench_test.go)
+unformatted=$(gofmt -l cmd internal examples ./*.go)
 if [ -n "$unformatted" ]; then
     echo "gofmt: needs formatting:" >&2
     echo "$unformatted" >&2
@@ -32,6 +32,11 @@ go run ./cmd/shadowvet -json ./... | tee shadowvet-report.json
 # determinism analyzer's restricted set.
 echo "==> shadowvet (span tracker)"
 go run ./cmd/shadowvet ./internal/obs/span
+
+# The flight recorder is teed into the same hot path (every DRAM command
+# passes through Ring.Record); hold it to the same explicit gate.
+echo "==> shadowvet (flight recorder)"
+go run ./cmd/shadowvet ./internal/obs/flight
 
 # Self-check: the analyzer framework — including the cfg package the
 # flow-sensitive analyzers are built on — must pass its own suite. Gated
@@ -63,5 +68,24 @@ go test -run 'TestSchedulerEquivalence' ./internal/sim/
 
 echo "==> go test -race"
 go test -race ./...
+
+# The telemetry overhead budget is a wall-clock gate; race-detector
+# instrumentation multiplies mutex cost, so it self-skips above and is
+# enforced here on the uninstrumented build.
+echo "==> telemetry overhead budget"
+go test -run 'TestTelemetryOverheadBudget' -v . | grep -E 'overhead|PASS|FAIL|ok '
+
+# Perf-trajectory warning lane (non-fatal): one quick pass over the headline
+# scheduler benchmarks, compared against the committed BENCH_history.jsonl.
+# A >10% ns/op regression prints a warning and keeps the gate green — perf
+# noise must not block correctness fixes, but it must be visible. The run
+# appends nothing (-history '') so the committed trajectory only grows via
+# `make bench`.
+if [ -f BENCH_history.jsonl ]; then
+    echo "==> bench trajectory (warning lane)"
+    go test -bench 'BenchmarkSim/shadow/' -benchtime 1x -benchmem -run '^$' . |
+        go run ./cmd/shadowbench -o /dev/null -no-sims -history '' -against BENCH_history.jsonl ||
+        echo "WARNING: benchmark regression vs BENCH_history.jsonl (non-fatal; see above)" >&2
+fi
 
 echo "OK"
