@@ -130,7 +130,7 @@ func main() {
 	out := flag.String("o", "BENCH_pr5.json", "output JSON path")
 	before := flag.String("before", "", "prior report JSON to compare against (its benchmarks become the 'before' side)")
 	history := flag.String("history", "BENCH_history.jsonl", "append this run's benchmarks to a JSONL perf-trajectory file (empty disables)")
-	against := flag.String("against", "", "flag >10% ns/op regressions vs a prior report (.json) or history file's last line (.jsonl); exit 3 on regression")
+	against := flag.String("against", "", "flag >10% ns/op or allocs/op regressions vs a prior report (.json) or history file's last line (.jsonl); exit 3 on regression")
 	skipSims := flag.Bool("no-sims", false, "skip the headline scheme simulations")
 	flag.Parse()
 
@@ -241,12 +241,24 @@ func telemetrySection(benches []benchResult) []telemetryOverhead {
 }
 
 // appendHistory appends one trajectory line to the JSONL history file.
+// Consecutive entries with the same git revision collapse to the latest:
+// re-running make bench on an unchanged tree replaces the previous line
+// instead of piling up duplicates, so the trajectory stays one line per
+// revision actually benchmarked.
 func appendHistory(path string, benches []benchResult) error {
+	entry := historyEntry{GitRev: gitRev(), Benchmarks: benches}
+	if entry.GitRev != "" {
+		if replaced, err := replaceHistoryTail(path, entry); err != nil {
+			return err
+		} else if replaced {
+			fmt.Fprintf(os.Stderr, "shadowbench: trajectory updated in %s (same rev %s, kept latest)\n", path, entry.GitRev)
+			return nil
+		}
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	entry := historyEntry{GitRev: gitRev(), Benchmarks: benches}
 	if err := json.NewEncoder(f).Encode(entry); err != nil {
 		f.Close()
 		return err
@@ -256,6 +268,40 @@ func appendHistory(path string, benches []benchResult) error {
 	}
 	fmt.Fprintf(os.Stderr, "shadowbench: trajectory appended to %s\n", path)
 	return nil
+}
+
+// replaceHistoryTail rewrites the history file with its last line replaced
+// by entry when that line carries the same git revision. Returns whether a
+// replacement happened; a missing file or a tail from a different revision
+// is not an error (the caller appends normally).
+func replaceHistoryTail(path string, entry historyEntry) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[len(lines)-1]) == "" {
+		return false, nil
+	}
+	var tail historyEntry
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil || tail.GitRev != entry.GitRev {
+		return false, nil
+	}
+	var buf strings.Builder
+	for _, line := range lines[:len(lines)-1] {
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	enc, err := json.Marshal(entry)
+	if err != nil {
+		return false, err
+	}
+	buf.Write(enc)
+	buf.WriteByte('\n')
+	return true, os.WriteFile(path, []byte(buf.String()), 0o644)
 }
 
 // gitRev best-effort resolves the short HEAD revision; empty when git or the
@@ -298,7 +344,9 @@ func loadAgainst(path string) ([]benchResult, error) {
 	return entry.Benchmarks, nil
 }
 
-// regressions lists benchmarks more than 10% slower than the baseline.
+// regressions lists benchmarks more than 10% worse than the baseline, on
+// wall time (ns/op) or allocation count (allocs/op — only compared when
+// both sides ran with -benchmem).
 func regressions(before, after []benchResult) []string {
 	prior := make(map[string]benchResult, len(before))
 	for _, b := range before {
@@ -313,6 +361,12 @@ func regressions(before, after []benchResult) []string {
 		if a.NsPerOp > b.NsPerOp*1.10 {
 			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
 				a.Name, b.NsPerOp, a.NsPerOp, (a.NsPerOp-b.NsPerOp)/b.NsPerOp*100))
+		}
+		ba, bOk := b.Metrics["allocs/op"]
+		aa, aOk := a.Metrics["allocs/op"]
+		if bOk && aOk && ba > 0 && aa > ba*1.10 {
+			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f allocs/op (%+.1f%%)",
+				a.Name, ba, aa, (aa-ba)/ba*100))
 		}
 	}
 	return out

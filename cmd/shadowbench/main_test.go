@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegressionsFlagsNsAndAllocs(t *testing.T) {
+	before := []benchResult{
+		{Name: "BenchmarkSim/shadow", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 100}},
+		{Name: "BenchmarkSim/drr", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 100}},
+		{Name: "BenchmarkSim/para", NsPerOp: 1000},
+	}
+	after := []benchResult{
+		// >10% slower AND >10% more allocations: two findings.
+		{Name: "BenchmarkSim/shadow", NsPerOp: 1200, Metrics: map[string]float64{"allocs/op": 150}},
+		// Same wall time, allocation-only regression: the satellite case.
+		{Name: "BenchmarkSim/drr", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 112}},
+		// No -benchmem metrics on either side: allocs not compared.
+		{Name: "BenchmarkSim/para", NsPerOp: 1050},
+	}
+	regs := regressions(before, after)
+	if len(regs) != 3 {
+		t.Fatalf("regressions = %v, want 3 findings", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{
+		"BenchmarkSim/shadow: 1000 -> 1200 ns/op",
+		"BenchmarkSim/shadow: 100 -> 150 allocs/op",
+		"BenchmarkSim/drr: 100 -> 112 allocs/op",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("regressions missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRegressionsWithinBudgetSilent(t *testing.T) {
+	before := []benchResult{{Name: "B", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 100}}}
+	after := []benchResult{{Name: "B", NsPerOp: 1090, Metrics: map[string]float64{"allocs/op": 109}}}
+	if regs := regressions(before, after); len(regs) != 0 {
+		t.Fatalf("within-budget run flagged: %v", regs)
+	}
+}
+
+func readHistory(t *testing.T, path string) []historyEntry {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []historyEntry
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var e historyEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("history line %q: %v", line, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func writeHistory(t *testing.T, path string, entries []historyEntry) {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range entries {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplaceHistoryTail covers the dedup satellite: consecutive history
+// entries with the same git revision collapse to the latest, earlier
+// revisions stay untouched, and different or missing revisions append.
+func TestReplaceHistoryTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+
+	// Missing file: nothing to replace.
+	replaced, err := replaceHistoryTail(path, historyEntry{GitRev: "abc1234"})
+	if err != nil || replaced {
+		t.Fatalf("missing file: replaced=%v err=%v", replaced, err)
+	}
+
+	writeHistory(t, path, []historyEntry{
+		{GitRev: "old0001", Benchmarks: []benchResult{{Name: "B", NsPerOp: 1}}},
+		{GitRev: "abc1234", Benchmarks: []benchResult{{Name: "B", NsPerOp: 2}}},
+	})
+
+	// Same rev as the tail: the tail is replaced, the older line survives.
+	replaced, err = replaceHistoryTail(path, historyEntry{
+		GitRev:     "abc1234",
+		Benchmarks: []benchResult{{Name: "B", NsPerOp: 3}},
+	})
+	if err != nil || !replaced {
+		t.Fatalf("same-rev tail: replaced=%v err=%v", replaced, err)
+	}
+	entries := readHistory(t, path)
+	if len(entries) != 2 {
+		t.Fatalf("history has %d lines, want 2: %+v", len(entries), entries)
+	}
+	if entries[0].GitRev != "old0001" || entries[0].Benchmarks[0].NsPerOp != 1 {
+		t.Fatalf("older line perturbed: %+v", entries[0])
+	}
+	if entries[1].GitRev != "abc1234" || entries[1].Benchmarks[0].NsPerOp != 3 {
+		t.Fatalf("tail not replaced with latest: %+v", entries[1])
+	}
+
+	// Different rev: no replacement (the caller appends).
+	replaced, err = replaceHistoryTail(path, historyEntry{GitRev: "def5678"})
+	if err != nil || replaced {
+		t.Fatalf("different rev: replaced=%v err=%v", replaced, err)
+	}
+	if entries := readHistory(t, path); len(entries) != 2 {
+		t.Fatalf("no-op replacement changed the file: %+v", entries)
+	}
+
+	// A rev only earlier in the file (not the tail) must NOT be replaced:
+	// only *consecutive* duplicates collapse.
+	replaced, err = replaceHistoryTail(path, historyEntry{GitRev: "old0001"})
+	if err != nil || replaced {
+		t.Fatalf("non-tail rev: replaced=%v err=%v", replaced, err)
+	}
+}
+
+// TestLoadAgainstHistoryTail: -against on a .jsonl history compares against
+// the last line, which after dedup is the latest run of the tail revision.
+func TestLoadAgainstHistoryTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	writeHistory(t, path, []historyEntry{
+		{GitRev: "a", Benchmarks: []benchResult{{Name: "B", NsPerOp: 10}}},
+		{GitRev: "b", Benchmarks: []benchResult{{Name: "B", NsPerOp: 20, Metrics: map[string]float64{"allocs/op": 4}}}},
+	})
+	benches, err := loadAgainst(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 || benches[0].NsPerOp != 20 || benches[0].Metrics["allocs/op"] != 4 {
+		t.Fatalf("loadAgainst = %+v, want the tail entry", benches)
+	}
+}

@@ -36,6 +36,7 @@ var layerImports = map[string][]string{
 	"obs":        {"timing"},
 	"obs/span":   {"obs", "timing"},
 	"obs/flight": {"obs", "obs/span", "timing"},
+	"obs/fleet":  {"obs", "obs/flight", "obs/span", "timing"},
 	"report":     {"obs", "obs/span", "timing"},
 
 	// The device and what plugs into it.
@@ -54,8 +55,8 @@ var layerImports = map[string][]string{
 	"sim": {"circuit", "dram", "hammer", "memctrl", "memsys", "mitigate",
 		"obs", "obs/span", "rng", "shadow", "timing", "trace"},
 	"security": {"dram", "hammer", "mitigate", "rng", "shadow", "sim", "timing", "trace"},
-	"exp": {"circuit", "dram", "hammer", "memctrl", "mitigate", "obs", "obs/span",
-		"power", "report", "rng", "security", "shadow", "sim", "timing", "trace"},
+	"exp": {"circuit", "dram", "hammer", "memctrl", "mitigate", "obs", "obs/flight",
+		"obs/span", "power", "report", "rng", "security", "shadow", "sim", "timing", "trace"},
 }
 
 // Layering enforces the internal import DAG: a package under internal/ may

@@ -41,8 +41,10 @@ import (
 	"shadow/internal/circuit"
 	"shadow/internal/dram"
 	"shadow/internal/hammer"
+	"shadow/internal/memctrl"
 	"shadow/internal/mitigate"
 	"shadow/internal/obs"
+	"shadow/internal/obs/flight"
 	"shadow/internal/obs/span"
 	"shadow/internal/security"
 	"shadow/internal/shadow"
@@ -237,6 +239,35 @@ type RunOpts struct {
 	// scheduler (see sim.Config.FullRescan): the scheduler-overhead baseline
 	// for BenchmarkSim and the equivalence tests.
 	FullRescan bool
+
+	// Fleet hooks (shadowfleet, internal/obs/fleet). Unlike ProbeFor /
+	// SpansFor / Progress these do NOT force Workers=1: the fleet collector
+	// synchronizes internally, and WorkerProbe hands each fan-out worker its
+	// own recorder, so the sweep keeps its full parallelism while being
+	// observed. All hooks may be called concurrently from every worker.
+	//
+	// OnPointsPlanned announces a sweep's job count before any point runs
+	// (fleet progress % and ETA need the denominator; called once per
+	// figure sweep, counts accumulate).
+	OnPointsPlanned func(n int)
+	// OnPointStart fires when a worker picks up an operating point.
+	OnPointStart func(worker int, label, scheme string, seed uint64)
+	// OnPointProgress mirrors Progress per worker (label, sim now/total).
+	OnPointProgress func(worker int, label string, now, total timing.Tick)
+	// OnPointDone fires after a point's scheme run completes, carrying the
+	// order-sensitive FNV hash of its DRAM command log (the fleet divergence
+	// watchdog compares it across workers for same point+seed) and the
+	// measured relative performance. Setting it attaches an observation-only
+	// sim.Config.OnCommand hook to scheme runs.
+	OnPointDone func(worker int, label, scheme string, seed, cmdHash uint64, rel float64)
+	// WorkerProbe supplies a per-(worker, point) shadowscope probe; use it
+	// instead of ProbeFor when the sweep should stay parallel. The probe's
+	// recorder is only ever touched from that worker's goroutine.
+	WorkerProbe func(worker int, label string) *obs.Probe
+
+	// workerID is the fan-out worker index running this point, threaded by
+	// runJobs through its per-worker RunOpts copy.
+	workerID int
 }
 
 func (o RunOpts) withDefaults() RunOpts {
@@ -283,37 +314,68 @@ func runPoint(pt Point, profiles []trace.Profile, o RunOpts) (float64, *sim.Resu
 
 	p, dm, mc := pt.Build(geo, o.Duration)
 	label := pointLabel(pt, profiles)
+	if o.OnPointStart != nil {
+		o.OnPointStart(o.workerID, label, string(pt.Scheme), o.Seed)
+	}
 	var probe *obs.Probe
 	if o.ProbeFor != nil {
 		probe = o.ProbeFor(label)
+	} else if o.WorkerProbe != nil {
+		probe = o.WorkerProbe(o.workerID, label)
 	}
 	var spans *span.Collector
 	if o.SpansFor != nil {
 		spans = o.SpansFor(label)
 	}
 	var progress func(timing.Tick)
-	if o.Progress != nil {
-		progress = func(now timing.Tick) { o.Progress(label, now, total) }
+	if o.Progress != nil || o.OnPointProgress != nil {
+		progress = func(now timing.Tick) {
+			if o.Progress != nil {
+				o.Progress(label, now, total)
+			}
+			if o.OnPointProgress != nil {
+				o.OnPointProgress(o.workerID, label, now, total)
+			}
+		}
+	}
+	var cmdHash *flight.CmdHash
+	var onCommand func(ch int, cmd memctrl.Cmd)
+	if o.OnPointDone != nil {
+		cmdHash = flight.NewCmdHash()
+		onCommand = func(ch int, cmd memctrl.Cmd) {
+			cmdHash.Note(int(cmd.Kind), cmd.Bank, cmd.Row, cmd.At)
+		}
 	}
 	res, err := sim.Run(sim.Config{
 		Params: p, Geometry: geo, DeviceMit: dm, MCSide: mc,
-		Hammer:   hammer.Config{HCnt: 1 << 30, BlastRadius: 3},
-		Workload: trace.Generators(profiles, geo, o.Seed),
-		Duration: total,
-		Warmup:   o.Warmup,
-		Probe:    probe,
-		Spans:    spans,
-		Progress: progress,
+		Hammer:    hammer.Config{HCnt: 1 << 30, BlastRadius: 3},
+		Workload:  trace.Generators(profiles, geo, o.Seed),
+		Duration:  total,
+		Warmup:    o.Warmup,
+		Probe:     probe,
+		Spans:     spans,
+		Progress:  progress,
+		OnCommand: onCommand,
 
 		FullRescan: o.FullRescan,
 	})
 	if err != nil {
 		return 0, nil, err
 	}
-	return sim.WeightedSpeedup(res, baseRes), res, nil
+	ws := sim.WeightedSpeedup(res, baseRes)
+	if o.OnPointDone != nil {
+		o.OnPointDone(o.workerID, label, string(pt.Scheme), o.Seed, cmdHash.Sum(), ws)
+	}
+	return ws, res, nil
 }
 
-// pointLabel names a scheme run's shadowscope track.
+// pointLabel names a scheme run's shadowscope track. The label must be
+// injective over the point's configuration: the fleet divergence watchdog
+// compares command hashes of completions sharing a (label, seed) key, so
+// two differently-configured points with one label would falsely trip it
+// (Fig. 9 varies tRCD, Fig. 10 blast radius, Fig. 11 the DRAM grade, all
+// at a fixed scheme/workload/H_cnt). Non-default fields append suffixes
+// so the common case keeps the short scheme/workload/hNNNN form.
 func pointLabel(pt Point, profiles []trace.Profile) string {
 	names := ""
 	for i, p := range profiles {
@@ -322,7 +384,17 @@ func pointLabel(pt Point, profiles []trace.Profile) string {
 		}
 		names += p.Name
 	}
-	return fmt.Sprintf("%s/%s/h%d", pt.Scheme, names, pt.HCnt)
+	label := fmt.Sprintf("%s/%s/h%d", pt.Scheme, names, pt.HCnt)
+	if pt.Blast != 0 {
+		label += fmt.Sprintf("/b%d", pt.Blast)
+	}
+	if pt.TRCDCycles != 0 {
+		label += fmt.Sprintf("/trcd%d", pt.TRCDCycles)
+	}
+	if pt.Grade != timing.DDR4_2666 {
+		label += "/" + pt.Grade.String()
+	}
+	return label
 }
 
 // clampWS bounds working sets to the geometry.
@@ -376,14 +448,18 @@ func baselineRun(grade timing.Grade, profiles []trace.Profile, geo dram.Geometry
 	return res, nil
 }
 
-// parallelEach runs f(i) for i in [0, n) on up to workers goroutines and
-// returns the first error. Experiment figures use it to sweep operating
-// points concurrently; each point's simulation is independent (the shared
-// baseline cache is internally synchronized).
-func parallelEach(n, workers int, f func(i int) error) error {
+// parallelEach runs f(worker, i) for i in [0, n) on up to workers
+// goroutines and returns the first error. Experiment figures use it to
+// sweep operating points concurrently; each point's simulation is
+// independent (the shared baseline cache is internally synchronized). The
+// worker index identifies the goroutine running the item — stable across
+// the call, in [0, workers) — so per-worker state (fleet identity,
+// per-worker recorders) needs no further synchronization. The sequential
+// path runs everything as worker 0.
+func parallelEach(n, workers int, f func(worker, i int) error) error {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
+			if err := f(0, i); err != nil {
 				return err
 			}
 		}
@@ -400,14 +476,14 @@ func parallelEach(n, workers int, f func(i int) error) error {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				if err := f(i); err != nil {
+				if err := f(worker, i); err != nil {
 					errMu.Lock()
 					if first == nil {
 						first = err
@@ -416,7 +492,7 @@ func parallelEach(n, workers int, f func(i int) error) error {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return first

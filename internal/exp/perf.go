@@ -44,9 +44,14 @@ func runJobs(jobs []perfJob, o RunOpts) error {
 			return err
 		}
 	}
-	return parallelEach(len(jobs), o.Workers, func(i int) error {
+	if o.OnPointsPlanned != nil {
+		o.OnPointsPlanned(len(jobs))
+	}
+	return parallelEach(len(jobs), o.Workers, func(worker, i int) error {
 		j := jobs[i]
-		ws, _, err := runPoint(j.pt, append([]trace.Profile(nil), j.profiles...), o)
+		ow := o
+		ow.workerID = worker
+		ws, _, err := runPoint(j.pt, append([]trace.Profile(nil), j.profiles...), ow)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", j.workload, j.pt.Scheme, err)
 		}

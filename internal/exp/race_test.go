@@ -26,7 +26,7 @@ func TestParallelFanOutSharedBaseline(t *testing.T) {
 	}
 	schemes := []Scheme{Shadow, DRR, PARFM, MithrilArea}
 	rel := make([]float64, len(schemes))
-	err := parallelEach(len(schemes), o.Workers, func(i int) error {
+	err := parallelEach(len(schemes), o.Workers, func(_, i int) error {
 		ws, _, err := runPoint(Point{
 			Scheme: schemes[i], HCnt: 4096, Grade: timing.DDR4_2666, Seed: o.Seed,
 		}, trace.MixHigh(o.Cores), o)
@@ -71,7 +71,7 @@ func baselineKeyCount(o RunOpts) int {
 func TestParallelEachErrorFirstWins(t *testing.T) {
 	boom := errors.New("exp: synthetic failure")
 	var calls atomic.Int64
-	err := parallelEach(200, 8, func(i int) error {
+	err := parallelEach(200, 8, func(_, i int) error {
 		calls.Add(1)
 		if i%3 == 0 {
 			return boom
@@ -91,7 +91,7 @@ func TestParallelEachErrorFirstWins(t *testing.T) {
 func TestParallelEachCoversAll(t *testing.T) {
 	const n = 500
 	var hits [n]atomic.Int32
-	if err := parallelEach(n, 16, func(i int) error {
+	if err := parallelEach(n, 16, func(_, i int) error {
 		hits[i].Add(1)
 		return nil
 	}); err != nil {

@@ -1,0 +1,588 @@
+// Package fleet is shadowfleet: fleet-wide observability for sharded
+// sweeps. A Collector registers every worker of a shadowexp point fan-out
+// (and, through the Poller, remote shadowsim processes scraped over HTTP),
+// merges their Prometheus metric families into fleet-level series with
+// worker/scheme/point labels, retains recent history in a bounded trend
+// store, and runs fleet watchdogs — straggler, stalled-worker, and
+// cross-worker divergence — on the flight recorder's trip-and-freeze
+// pattern. The fleet Inspector (inspect.go) serves the merged view live:
+// /fleet.json, /fleet/metrics, /fleet/workers.json, /fleet/trends.json, and
+// an HTML dashboard with per-worker progress bars and sparkline trends.
+//
+// Two sources, one path: in-process workers render their obs.Recorder
+// registries through obs.(*Metrics).WritePrometheus and hand the text to
+// Ingest; the Poller scrapes the same exposition from remote /metrics
+// endpoints. Both go through the package's text-format parser (parse.go),
+// so the aggregator never distinguishes local from remote.
+//
+// Like the rest of the obs layer, the package is deterministic (no direct
+// wall-clock reads — the Collector takes its clock injected from the cmd
+// layer; every map iteration is sorted) and nil-safe (a nil *Collector or
+// *Store is valid and inert).
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"shadow/internal/obs/flight"
+	"shadow/internal/timing"
+)
+
+// Options configures a Collector.
+type Options struct {
+	// Clock supplies wall time (time.Now in production, a fake in tests).
+	// Required: the collector stamps point durations and scrape staleness
+	// with it so the fleet package itself stays free of wall-clock reads.
+	Clock func() time.Time
+	// TrendCapacity bounds each trend series (default DefaultTrendCapacity).
+	TrendCapacity int
+	// RefreshEvery is the minimum wall-time gap between metric snapshots of
+	// one worker (default 1s): PointProgress returns true at most this often.
+	RefreshEvery time.Duration
+	// StragglerFactor is the straggler watchdog's K: an in-flight point
+	// running longer than K times the median completed-point duration trips
+	// it (default 4; needs >= 3 completed points before it can trip).
+	StragglerFactor float64
+	// StallIntervals is the stalled-worker watchdog's M: a worker whose
+	// metric snapshot has not changed at all across M consecutive ingests
+	// while a point is in flight trips it (default 5).
+	StallIntervals int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RefreshEvery <= 0 {
+		o.RefreshEvery = time.Second
+	}
+	if o.StragglerFactor <= 0 {
+		o.StragglerFactor = 4
+	}
+	if o.StallIntervals <= 0 {
+		o.StallIntervals = 5
+	}
+	return o
+}
+
+// PointRecord is one completed operating point, as reported by a worker.
+type PointRecord struct {
+	Worker  string  `json:"worker"`
+	Point   string  `json:"point"`
+	Scheme  string  `json:"scheme"`
+	Seed    uint64  `json:"seed"`
+	CmdHash string  `json:"cmd_hash"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// worker is the registry entry for one fleet member.
+type worker struct {
+	id     string
+	source string // "local", or the scrape base URL
+
+	// Current point, as reported by hooks (local) or /status.json (scraped).
+	point  string
+	scheme string
+	seed   uint64
+	now    timing.Tick
+	total  timing.Tick
+	done   bool // no point in flight
+
+	startedAt  time.Time // wall time the current point started
+	lastIngest time.Time
+
+	families []Family // latest parsed metric snapshot
+	// famScheme/famPoint are the worker's scheme and point at the time of
+	// the last metrics ingest — the identity labels the aggregator stamps on
+	// re-exposed samples (the live point may already have moved on).
+	famScheme string
+	famPoint  string
+	blame     []BlameRowJSON // latest ingested blame rows
+
+	// Stall detection: a fingerprint of the whole exposition at the last
+	// ingest, and how many consecutive ingests it has not changed while a
+	// point was in flight. The fingerprint covers every sample — counters
+	// alone are too quiet a signal (a short benign run may never increment
+	// dram/flips_total, the simulator's only counter), while a live worker's
+	// gauges and latency histograms move on every snapshot.
+	moveSig      uint64
+	counterTotal float64
+	idleIngests  int
+
+	pointsDone int
+	lastErr    string
+}
+
+// progressPct returns the worker's current-point progress in percent.
+func (w *worker) progressPct() float64 {
+	if w.done {
+		return 100
+	}
+	if w.total <= 0 {
+		return 0
+	}
+	return 100 * float64(w.now) / float64(w.total)
+}
+
+// Collector is the fleet registry and aggregation point. All methods are
+// safe for concurrent use (hooks arrive from every sweep worker goroutine
+// and the Poller; HTTP handlers read snapshots) and safe on a nil receiver.
+type Collector struct {
+	mu  sync.Mutex
+	opt Options
+
+	workers map[string]*worker
+	store   *Store
+	watch   *flight.Watch
+
+	startAt  time.Time // first activity; ETA regression origin
+	expected int       // planned point count (0 = unknown)
+	seq      int64     // scrape/refresh sequence, the trend time axis
+
+	completed []PointRecord
+	// completions records (wall seconds since startAt, cumulative count)
+	// pairs for the ETA throughput regression.
+	completions []completion
+
+	// hashes detects cross-worker divergence: first (hash, worker) seen per
+	// point+seed key.
+	hashes    map[string]hashSeen
+	divergent string // non-empty once two workers disagreed
+}
+
+type completion struct{ atSec, count float64 }
+
+type hashSeen struct {
+	hash   uint64
+	worker string
+}
+
+// NewCollector builds a collector and arms the three fleet watchdogs. opt
+// must carry a Clock.
+func NewCollector(opt Options) *Collector {
+	if opt.Clock == nil {
+		panic("fleet: Options.Clock is required (inject time.Now from the cmd layer)")
+	}
+	c := &Collector{
+		opt:     opt.withDefaults(),
+		workers: map[string]*worker{},
+		store:   NewStore(opt.TrendCapacity),
+		watch:   flight.NewWatch(nil),
+		hashes:  map[string]hashSeen{},
+	}
+	// The probes run under c.mu (Tick holds it), so they read state directly.
+	c.watch.Add(flight.Check{Name: "fleet-straggler", Probe: c.stragglerLocked})
+	c.watch.Add(flight.Check{Name: "fleet-stalled-worker", Probe: c.stalledLocked})
+	c.watch.Add(flight.Check{Name: "fleet-divergence", Probe: c.divergenceLocked})
+	return c
+}
+
+// Watch exposes the fleet watchdogs (trip inspection, OnTrip hooks).
+func (c *Collector) Watch() *flight.Watch {
+	if c == nil {
+		return nil
+	}
+	return c.watch
+}
+
+// ExpectPoints adds n to the planned point count (each experiment of a
+// sweep announces its jobs as it starts). Drives fleet progress % and ETA.
+func (c *Collector) ExpectPoints(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markStartedLocked()
+	c.expected += n
+}
+
+// Register adds a worker to the registry. source is "local" for in-process
+// sweep workers or the scrape base URL for remote ones. Registering an
+// existing id is a no-op.
+func (c *Collector) Register(id, source string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workerLocked(id, source)
+}
+
+func (c *Collector) workerLocked(id, source string) *worker {
+	w := c.workers[id]
+	if w == nil {
+		w = &worker{id: id, source: source, done: true}
+		c.workers[id] = w
+	}
+	return w
+}
+
+func (c *Collector) markStartedLocked() {
+	if c.startAt.IsZero() {
+		c.startAt = c.opt.Clock()
+	}
+}
+
+// PointStart records that a worker began an operating point.
+func (c *Collector) PointStart(id, point, scheme string, seed uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markStartedLocked()
+	w := c.workerLocked(id, "local")
+	w.point, w.scheme, w.seed = point, scheme, seed
+	w.now, w.total = 0, 0
+	w.done = false
+	w.idleIngests = 0
+	w.startedAt = c.opt.Clock()
+}
+
+// PointProgress updates a worker's current-point progress. The return value
+// asks the caller — who owns the worker's obs.Recorder and runs on that
+// worker's goroutine — for a fresh metrics snapshot: it is true at most once
+// per Options.RefreshEvery of wall time per worker.
+func (c *Collector) PointProgress(id, point string, now, total timing.Tick) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workerLocked(id, "local")
+	if w.point != point {
+		// Progress for a point we never saw start (scraped worker moved on).
+		w.point = point
+		w.startedAt = c.opt.Clock()
+	}
+	w.now, w.total = now, total
+	w.done = false
+	wall := c.opt.Clock()
+	if wall.Sub(w.lastIngest) < c.opt.RefreshEvery {
+		return false
+	}
+	w.lastIngest = wall
+	return true
+}
+
+// PointDone records a completed point: its wall duration (for the straggler
+// median and the ETA regression) and its FNV command hash (for the
+// cross-worker divergence watchdog).
+func (c *Collector) PointDone(id, point, scheme string, seed, cmdHash uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workerLocked(id, "local")
+	wall := c.opt.Clock()
+	var ms float64
+	if !w.startedAt.IsZero() {
+		ms = float64(wall.Sub(w.startedAt)) / float64(time.Millisecond)
+	}
+	w.done = true
+	w.point, w.scheme, w.seed = point, scheme, seed
+	w.now = w.total
+	w.pointsDone++
+	w.idleIngests = 0
+	c.completed = append(c.completed, PointRecord{
+		Worker: id, Point: point, Scheme: scheme, Seed: seed,
+		CmdHash: fmt.Sprintf("%#016x", cmdHash), WallMS: ms,
+	})
+	c.markStartedLocked()
+	c.completions = append(c.completions, completion{
+		atSec: wall.Sub(c.startAt).Seconds(),
+		count: float64(len(c.completed)),
+	})
+
+	key := fmt.Sprintf("%s|%d", point, seed)
+	if seen, ok := c.hashes[key]; ok {
+		if seen.hash != cmdHash && c.divergent == "" {
+			c.divergent = fmt.Sprintf("point %s seed %d: worker %s hash %#016x != worker %s hash %#016x",
+				point, seed, seen.worker, seen.hash, id, cmdHash)
+		}
+	} else {
+		c.hashes[key] = hashSeen{hash: cmdHash, worker: id}
+	}
+}
+
+// Ingest parses a worker's Prometheus exposition snapshot and replaces its
+// stored families, feeding the trend store and the stalled-worker detector.
+func (c *Collector) Ingest(id string, promText []byte) error {
+	if c == nil {
+		return nil
+	}
+	fams, err := Parse(promText)
+	if err != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.workerLocked(id, "local").lastErr = err.Error()
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markStartedLocked()
+	w := c.workerLocked(id, "local")
+	w.families = fams
+	w.famScheme, w.famPoint = w.scheme, w.point
+	w.lastErr = ""
+	w.lastIngest = c.opt.Clock()
+
+	sig := movementSig(fams)
+	if !w.done && sig == w.moveSig {
+		w.idleIngests++
+	} else {
+		w.idleIngests = 0
+	}
+	w.moveSig = sig
+	w.counterTotal = counterTotal(fams)
+
+	c.store.Append("worker/"+id+"/progress", c.seq, w.progressPct())
+	c.store.Append("worker/"+id+"/counter_total", c.seq, w.counterTotal)
+	return nil
+}
+
+// movementSig fingerprints an exposition (FNV-1a over every family name,
+// sample label set, and raw value): the liveness signal the stalled-worker
+// watchdog compares across ingests. Two identical snapshots — a frozen
+// worker re-serving the same /metrics, or a local point whose simulation
+// stopped updating its instruments — hash equal; any sample changing
+// anywhere counts as movement.
+func movementSig(fams []Family) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
+		h = (h ^ 0xff) * prime64 // field separator
+	}
+	for _, f := range fams {
+		mix(f.Name)
+		for _, s := range f.Samples {
+			for _, l := range s.Labels {
+				mix(l.Key)
+				mix(l.Value)
+			}
+			mix(s.Raw)
+		}
+	}
+	return h
+}
+
+// counterTotal sums every counter-family sample: the movement signal the
+// stalled-worker watchdog compares across ingests.
+func counterTotal(fams []Family) float64 {
+	var total float64
+	for _, f := range fams {
+		if f.Type != "counter" {
+			continue
+		}
+		for _, s := range f.Samples {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// workerStatus is the scraped /status.json shape (the obs.Inspector's),
+// reduced to the fields the fleet tracks.
+type workerStatus struct {
+	Label      string  `json:"label"`
+	Worker     string  `json:"worker"`
+	Done       bool    `json:"done"`
+	SimNowPS   int64   `json:"sim_now_ps"`
+	SimTotalPS int64   `json:"sim_total_ps"`
+	Percent    float64 `json:"percent"`
+}
+
+// IngestStatus folds a scraped /status.json payload into the worker's
+// registry entry: current point label (scheme is its first path segment),
+// progress, and done state.
+func (c *Collector) IngestStatus(id string, statusJSON []byte) error {
+	if c == nil {
+		return nil
+	}
+	var st workerStatus
+	if err := json.Unmarshal(statusJSON, &st); err != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.workerLocked(id, "local").lastErr = err.Error()
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markStartedLocked()
+	w := c.workerLocked(id, "local")
+	if w.point != st.Label {
+		w.startedAt = c.opt.Clock()
+	}
+	w.point = st.Label
+	w.scheme, _, _ = strings.Cut(st.Label, "/")
+	w.now, w.total = timing.Tick(st.SimNowPS), timing.Tick(st.SimTotalPS)
+	if st.Done && !w.done {
+		w.pointsDone++
+	}
+	w.done = st.Done
+	return nil
+}
+
+// SetError records a scrape failure against a worker (shown in
+// /fleet/workers.json rather than silently dropping the target).
+func (c *Collector) SetError(id string, err error) {
+	if c == nil || err == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workerLocked(id, "local").lastErr = err.Error()
+}
+
+// Tick advances the fleet: appends the roll-up trends and runs the
+// watchdogs once. Call it at the scrape/refresh cadence; the first trip
+// freezes (the watch records it and later Ticks return it unchanged).
+func (c *Collector) Tick() *flight.Trip {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	c.store.Append("fleet/points_done", c.seq, float64(len(c.completed)))
+	c.store.Append("fleet/progress", c.seq, c.progressPctLocked())
+	return c.watch.Check(timing.Tick(c.seq))
+}
+
+// progressPctLocked is the fleet-wide progress estimate: completed points
+// plus the fractional progress of every in-flight point, over the expected
+// total (or over completed+in-flight when no total was announced).
+func (c *Collector) progressPctLocked() float64 {
+	doing := 0.0
+	inflight := 0
+	for _, id := range c.workerIDsLocked() {
+		w := c.workers[id]
+		if !w.done && w.point != "" {
+			inflight++
+			doing += w.progressPct() / 100
+		}
+	}
+	total := float64(c.expected)
+	if total <= 0 {
+		total = float64(len(c.completed) + inflight)
+	}
+	if total <= 0 {
+		return 0
+	}
+	pct := 100 * (float64(len(c.completed)) + doing) / total
+	if pct > 100 {
+		pct = 100
+	}
+	return pct
+}
+
+// etaSecondsLocked estimates seconds until the sweep completes, from a
+// least-squares regression of cumulative completed points over wall time:
+// the slope is the fleet's point throughput, and remaining/slope the ETA. 0
+// means "no estimate" (unknown total, fewer than 2 completions, or no
+// forward progress).
+func (c *Collector) etaSecondsLocked() float64 {
+	if c.expected <= 0 || len(c.completions) < 2 {
+		return 0
+	}
+	remaining := float64(c.expected - len(c.completed))
+	if remaining <= 0 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(c.completions))
+	for _, p := range c.completions {
+		sx += p.atSec
+		sy += p.count
+		sxx += p.atSec * p.atSec
+		sxy += p.atSec * p.count
+	}
+	den := n*sxx - sx*sx
+	if den <= 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / den // points per second
+	if slope <= 0 {
+		return 0
+	}
+	return remaining / slope
+}
+
+// workerIDsLocked returns the registered worker ids, sorted.
+func (c *Collector) workerIDsLocked() []string {
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id) //shadowvet:ignore determinism -- sorted immediately below
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Watchdog probes. All run with c.mu held (Tick holds it across
+// watch.Check); they read collector state directly and never lock.
+
+// stragglerLocked trips when an in-flight point has been running longer
+// than StragglerFactor times the median completed-point wall duration.
+func (c *Collector) stragglerLocked(timing.Tick) (string, bool) {
+	med := c.medianPointMSLocked()
+	if med <= 0 || len(c.completed) < 3 {
+		return "", false
+	}
+	limit := c.opt.StragglerFactor * med
+	wall := c.opt.Clock()
+	for _, id := range c.workerIDsLocked() {
+		w := c.workers[id]
+		if w.done || w.point == "" || w.startedAt.IsZero() {
+			continue
+		}
+		ms := float64(wall.Sub(w.startedAt)) / float64(time.Millisecond)
+		if ms > limit {
+			return fmt.Sprintf("worker %s point %s running %.0f ms > %.1fx median %.0f ms over %d completed points",
+				id, w.point, ms, c.opt.StragglerFactor, med, len(c.completed)), true
+		}
+	}
+	return "", false
+}
+
+// stalledLocked trips when a worker's metric snapshot has not changed
+// across StallIntervals consecutive ingests while a point was in flight.
+func (c *Collector) stalledLocked(timing.Tick) (string, bool) {
+	for _, id := range c.workerIDsLocked() {
+		w := c.workers[id]
+		if w.done || w.idleIngests < c.opt.StallIntervals {
+			continue
+		}
+		return fmt.Sprintf("worker %s point %s: metrics frozen across %d scrape intervals",
+			id, w.point, w.idleIngests), true
+	}
+	return "", false
+}
+
+// divergenceLocked trips once two workers reported different command hashes
+// for the same point+seed.
+func (c *Collector) divergenceLocked(timing.Tick) (string, bool) {
+	return c.divergent, c.divergent != ""
+}
+
+// medianPointMSLocked is the median completed-point wall duration.
+func (c *Collector) medianPointMSLocked() float64 {
+	if len(c.completed) == 0 {
+		return 0
+	}
+	ms := make([]float64, 0, len(c.completed))
+	for _, r := range c.completed {
+		ms = append(ms, r.WallMS)
+	}
+	sort.Float64s(ms)
+	return ms[len(ms)/2]
+}

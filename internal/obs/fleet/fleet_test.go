@@ -1,0 +1,503 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"shadow/internal/obs"
+	"shadow/internal/timing"
+)
+
+// fakeClock is the injected wall clock: tests advance it explicitly, so the
+// straggler and throttle behavior is exact instead of sleep-based.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestCollector(clk *fakeClock) *Collector {
+	return NewCollector(Options{Clock: clk.now})
+}
+
+// workerExposition renders one synthetic worker's registry: a point-labelled
+// flips counter, request counters, a gauge, and a latency histogram whose
+// observations differ per worker so bucket edge sets differ too.
+func workerExposition(t *testing.T, scheme string, base int64) []byte {
+	t.Helper()
+	rec := obs.NewRecorder(obs.Options{Metrics: true})
+	p := rec.NewTrack(scheme + "/mix-high/h256")
+	p.Counter("dram/flips_total").Add(base)
+	p.Counter("memctrl/reads_total").Add(base * 100)
+	p.Gauge("memctrl/queue_depth").Set(base)
+	h := p.Histogram("memctrl/read_latency_ps")
+	for i := int64(0); i < 20; i++ {
+		h.Observe(base * (i + 1))
+	}
+	var buf bytes.Buffer
+	if err := rec.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// samplesBy indexes a parsed exposition: family name -> samples.
+func samplesBy(fams []Family) map[string][]Sample {
+	out := map[string][]Sample{}
+	for _, f := range fams {
+		out[f.Name] = append(out[f.Name], f.Samples...)
+	}
+	return out
+}
+
+// TestFleetSumInvariant is the acceptance-criteria assertion: the merged
+// exposition accounts for 100% of the per-worker counters — for every
+// instrument, shadow_fleet_counter equals the sum of shadow_counter over
+// workers, and likewise for gauges and histogram counts.
+func TestFleetSumInvariant(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	schemes := []string{"shadow", "baseline", "prac"}
+	for i, scheme := range schemes {
+		id := fmt.Sprintf("w%d", i)
+		c.PointStart(id, scheme+"/mix-high/h256", scheme, 42)
+		if err := c.Ingest(id, workerExposition(t, scheme, int64(i+1)*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var merged bytes.Buffer
+	if err := c.WriteMetrics(&merged); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := Parse(merged.Bytes())
+	if err != nil {
+		t.Fatalf("merged exposition does not re-parse: %v\n%s", err, merged.String())
+	}
+	by := samplesBy(fams)
+
+	for _, fam := range []string{"shadow_counter", "shadow_gauge"} {
+		perWorker := map[string]float64{}
+		for _, s := range by[fam] {
+			if s.Label("worker") == "" {
+				t.Fatalf("%s sample without worker label: %+v", fam, s)
+			}
+			perWorker[s.Label("name")] += s.Value
+		}
+		if len(perWorker) == 0 {
+			t.Fatalf("no %s samples in merged exposition", fam)
+		}
+		fleet := map[string]float64{}
+		for _, s := range by["shadow_fleet_"+strings.TrimPrefix(fam, "shadow_")] {
+			fleet[s.Label("name")] = s.Value
+		}
+		for name, sum := range perWorker {
+			if got, ok := fleet[name]; !ok || got != sum {
+				t.Errorf("%s: fleet total for %q = %v, worker sum = %v", fam, name, got, sum)
+			}
+		}
+		if len(fleet) != len(perWorker) {
+			t.Errorf("%s: fleet totals cover %d instruments, workers expose %d", fam, len(fleet), len(perWorker))
+		}
+	}
+
+	// Histogram: merged count equals summed per-worker counts, buckets are
+	// monotone along le, and +Inf equals _count.
+	perWorkerCount := map[string]float64{}
+	for _, s := range by["shadow_histogram"] {
+		if s.Name == "shadow_histogram_count" {
+			perWorkerCount[s.Label("name")] += s.Value
+		}
+	}
+	fleetBuckets := map[string][]Sample{}
+	fleetCount := map[string]float64{}
+	for _, s := range by["shadow_fleet_histogram"] {
+		switch s.Name {
+		case "shadow_fleet_histogram_bucket":
+			name := s.Label("name")
+			fleetBuckets[name] = append(fleetBuckets[name], s)
+		case "shadow_fleet_histogram_count":
+			fleetCount[s.Label("name")] = s.Value
+		}
+	}
+	if len(fleetCount) == 0 {
+		t.Fatal("no merged histograms")
+	}
+	for name, want := range perWorkerCount {
+		if fleetCount[name] != want {
+			t.Errorf("histogram %q: fleet count %v != summed worker counts %v", name, fleetCount[name], want)
+		}
+		buckets := fleetBuckets[name]
+		prev := -1.0
+		for _, s := range buckets {
+			if s.Value < prev {
+				t.Errorf("histogram %q: merged bucket le=%s decreases (%v < %v)", name, s.Label("le"), s.Value, prev)
+			}
+			prev = s.Value
+		}
+		last := buckets[len(buckets)-1]
+		if last.Label("le") != "+Inf" || last.Value != want {
+			t.Errorf("histogram %q: +Inf bucket = %+v, want value %v", name, last, want)
+		}
+	}
+
+	// Flips roll up per scheme (first path segment of the instrument name).
+	fj := c.Fleet()
+	for i, scheme := range schemes {
+		if got, want := fj.FlipsPerScheme[scheme], int64(i+1)*3; got != want {
+			t.Errorf("FlipsPerScheme[%q] = %d, want %d", scheme, got, want)
+		}
+	}
+}
+
+// TestFleetMetricsDeterministic: two renders of the same collector state are
+// byte-identical — every fold is sorted, nothing depends on map order.
+func TestFleetMetricsDeterministic(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("w%d", i)
+		c.PointStart(id, fmt.Sprintf("s%d/mix/h64", i), fmt.Sprintf("s%d", i), uint64(i))
+		if err := c.Ingest(id, workerExposition(t, fmt.Sprintf("s%d", i), int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := c.WriteMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two WriteMetrics renders of the same state differ")
+	}
+	if !bytes.Equal(c.MarshalFleet(), c.MarshalFleet()) {
+		t.Fatal("two MarshalFleet renders of the same state differ")
+	}
+}
+
+func completePoint(c *Collector, clk *fakeClock, id, point string, seed, hash uint64, d time.Duration) {
+	c.PointStart(id, point, "shadow", seed)
+	clk.advance(d)
+	c.PointDone(id, point, "shadow", seed, hash)
+}
+
+func TestStragglerWatchdog(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	c.ExpectPoints(5)
+	for i := 0; i < 3; i++ {
+		completePoint(c, clk, "w0", fmt.Sprintf("p%d", i), uint64(i), uint64(100+i), 100*time.Millisecond)
+	}
+	if tr := c.Tick(); tr != nil {
+		t.Fatalf("tripped early: %+v", tr)
+	}
+	// In-flight point runs past 4x the 100 ms median.
+	c.PointStart("w1", "p-slow", "shadow", 9)
+	clk.advance(450 * time.Millisecond)
+	tr := c.Tick()
+	if tr == nil || tr.Watchdog != "fleet-straggler" {
+		t.Fatalf("trip = %+v, want fleet-straggler", tr)
+	}
+	if !strings.Contains(tr.Detail, "w1") || !strings.Contains(tr.Detail, "p-slow") {
+		t.Fatalf("trip detail %q does not name the straggler", tr.Detail)
+	}
+	// The trip freezes and marshals deterministically.
+	if tr2 := c.Tick(); tr2 != tr {
+		t.Fatal("trip did not freeze")
+	}
+	dump, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"watchdog":"fleet-straggler"`, `"detail"`, `"at_ps"`} {
+		if !strings.Contains(string(dump), want) {
+			t.Fatalf("trip JSON %s missing %s", dump, want)
+		}
+	}
+}
+
+func TestStalledWorkerWatchdog(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	c.PointStart("w0", "p0", "shadow", 1)
+	text := workerExposition(t, "shadow", 5)
+	if err := c.Ingest("w0", text); err != nil {
+		t.Fatal(err)
+	}
+	// Five more ingests with identical counters: no movement while in flight.
+	for i := 0; i < 5; i++ {
+		clk.advance(time.Second)
+		if err := c.Ingest("w0", text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := c.Tick()
+	if tr == nil || tr.Watchdog != "fleet-stalled-worker" {
+		t.Fatalf("trip = %+v, want fleet-stalled-worker", tr)
+	}
+	if !strings.Contains(tr.Detail, "w0") {
+		t.Fatalf("trip detail %q does not name the worker", tr.Detail)
+	}
+}
+
+func TestStalledWorkerResetsOnMovement(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	c.PointStart("w0", "p0", "shadow", 1)
+	for i := 0; i < 12; i++ {
+		clk.advance(time.Second)
+		// Counters move on every ingest: never stalls.
+		if err := c.Ingest("w0", workerExposition(t, "shadow", int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr := c.Tick(); tr != nil {
+		t.Fatalf("tripped on a moving worker: %+v", tr)
+	}
+}
+
+// TestStalledWorkerIgnoresFlatCounters pins the movement signal to the whole
+// exposition, not counters alone. A healthy short run may never increment a
+// counter (dram/flips_total is the simulator's only one, and benign
+// workloads don't flip bits), while its gauges and histograms move on every
+// snapshot — that must never read as a stall. Caught live on a fig9 sweep.
+func TestStalledWorkerIgnoresFlatCounters(t *testing.T) {
+	exposition := func(t *testing.T, gauge int64) []byte {
+		t.Helper()
+		rec := obs.NewRecorder(obs.Options{Metrics: true})
+		p := rec.NewTrack("shadow/mix-high/h256")
+		p.Counter("dram/flips_total").Add(0) // flat forever
+		p.Gauge("memctrl/queue_depth").Set(gauge)
+		var buf bytes.Buffer
+		if err := rec.Metrics().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	c.PointStart("w0", "p0", "shadow", 1)
+	for i := 0; i < 12; i++ {
+		clk.advance(time.Second)
+		if err := c.Ingest("w0", exposition(t, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr := c.Tick(); tr != nil {
+		t.Fatalf("tripped with flat counters but moving gauges: %+v", tr)
+	}
+	// Freeze the gauge too: now the snapshot is truly static and the
+	// watchdog must trip.
+	for i := 0; i < 6; i++ {
+		clk.advance(time.Second)
+		if err := c.Ingest("w0", exposition(t, 99)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr := c.Tick(); tr == nil || tr.Watchdog != "fleet-stalled-worker" {
+		t.Fatalf("trip = %+v, want fleet-stalled-worker once fully frozen", tr)
+	}
+}
+
+func TestDivergenceWatchdog(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	completePoint(c, clk, "w0", "p0", 42, 0xdead, 10*time.Millisecond)
+	if tr := c.Tick(); tr != nil {
+		t.Fatalf("tripped early: %+v", tr)
+	}
+	// Same point+seed, different command hash from another worker.
+	completePoint(c, clk, "w1", "p0", 42, 0xbeef, 10*time.Millisecond)
+	tr := c.Tick()
+	if tr == nil || tr.Watchdog != "fleet-divergence" {
+		t.Fatalf("trip = %+v, want fleet-divergence", tr)
+	}
+	for _, want := range []string{"w0", "w1", "p0", "42"} {
+		if !strings.Contains(tr.Detail, want) {
+			t.Fatalf("trip detail %q missing %q", tr.Detail, want)
+		}
+	}
+}
+
+func TestDivergenceSameHashNoTrip(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	completePoint(c, clk, "w0", "p0", 42, 0xfeed, 10*time.Millisecond)
+	completePoint(c, clk, "w1", "p0", 42, 0xfeed, 10*time.Millisecond)
+	// Different seed may hash differently without being divergence.
+	completePoint(c, clk, "w1", "p0", 43, 0xdead, 10*time.Millisecond)
+	if tr := c.Tick(); tr != nil {
+		t.Fatalf("agreeing workers tripped: %+v", tr)
+	}
+}
+
+func TestProgressAndETA(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	c.ExpectPoints(10)
+	fj := c.Fleet()
+	if fj.ProgressPercent != 0 || fj.ETASeconds != 0 {
+		t.Fatalf("fresh fleet: %+v", fj)
+	}
+	// One point per second, steadily.
+	for i := 0; i < 4; i++ {
+		completePoint(c, clk, "w0", fmt.Sprintf("p%d", i), uint64(i), uint64(i), time.Second)
+	}
+	fj = c.Fleet()
+	if fj.PointsDone != 4 || fj.PointsExpected != 10 {
+		t.Fatalf("fleet = %+v", fj)
+	}
+	if math.Abs(fj.ProgressPercent-40) > 1e-9 {
+		t.Fatalf("progress = %v, want 40", fj.ProgressPercent)
+	}
+	// Throughput is 1 point/s, 6 remain: ETA ~6 s.
+	if math.Abs(fj.ETASeconds-6) > 0.5 {
+		t.Fatalf("ETA = %v, want ~6", fj.ETASeconds)
+	}
+	// An in-flight point at 50% adds half a point of fractional progress.
+	c.PointStart("w1", "p4", "shadow", 4)
+	c.PointProgress("w1", "p4", 50, 100)
+	fj = c.Fleet()
+	if math.Abs(fj.ProgressPercent-45) > 1e-9 {
+		t.Fatalf("progress with in-flight = %v, want 45", fj.ProgressPercent)
+	}
+}
+
+func TestPointProgressThrottle(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	c.PointStart("w0", "p0", "shadow", 1)
+	if !c.PointProgress("w0", "p0", 1, 100) {
+		t.Fatal("first progress should request a snapshot")
+	}
+	if c.PointProgress("w0", "p0", 2, 100) {
+		t.Fatal("immediate second progress should be throttled")
+	}
+	clk.advance(time.Second)
+	if !c.PointProgress("w0", "p0", 3, 100) {
+		t.Fatal("progress after RefreshEvery should request a snapshot")
+	}
+}
+
+func TestIngestStatusAndBlame(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	c.Register("remote0", "http://localhost:9999")
+	status := `{"label":"shadow/mix-high/h256","done":false,"sim_now_ps":500,"sim_total_ps":1000,"percent":50}`
+	if err := c.IngestStatus("remote0", []byte(status)); err != nil {
+		t.Fatal(err)
+	}
+	ws := c.WorkersJSON()
+	if len(ws) != 1 || ws[0].ID != "remote0" || ws[0].Scheme != "shadow" || ws[0].Percent != 50 {
+		t.Fatalf("workers = %+v", ws)
+	}
+	if ws[0].Source != "http://localhost:9999" {
+		t.Fatalf("source = %q", ws[0].Source)
+	}
+
+	blame := `[{"label":"reader","requests":10,"reads":10,"writes":0,"row_hits":5,"resident_ps":20000,"resident_per_req_ns":2,"conserved":true,"stall_ps":{"bank_busy":100}},
+	           {"label":"writer","requests":4,"reads":0,"writes":4,"row_hits":1,"resident_ps":8000,"resident_per_req_ns":2,"conserved":true,"stall_ps":{}}]`
+	if err := c.IngestBlame("remote0", []byte(blame)); err != nil {
+		t.Fatal(err)
+	}
+	c.Register("remote1", "http://localhost:9998")
+	if err := c.IngestBlame("remote1", []byte(blame)); err != nil {
+		t.Fatal(err)
+	}
+	rows := c.Fleet().Blame
+	if len(rows) != 2 {
+		t.Fatalf("blame rows = %+v", rows)
+	}
+	// Sorted by label, sums doubled, residency recomputed from merged sums.
+	if rows[0].Label != "reader" || rows[0].Requests != 20 || rows[0].StallPS["bank_busy"] != 200 {
+		t.Fatalf("merged reader row = %+v", rows[0])
+	}
+	if math.Abs(rows[0].ResidentPerNS-2) > 1e-9 {
+		t.Fatalf("merged residency = %v, want 2", rows[0].ResidentPerNS)
+	}
+	if rows[1].Label != "writer" || rows[1].Writes != 8 {
+		t.Fatalf("merged writer row = %+v", rows[1])
+	}
+}
+
+func TestIngestBadPayloadsRecordError(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	if err := c.Ingest("w0", []byte("{} not prom\n")); err == nil {
+		t.Fatal("bad exposition accepted")
+	}
+	if err := c.IngestStatus("w0", []byte("not json")); err == nil {
+		t.Fatal("bad status accepted")
+	}
+	ws := c.WorkersJSON()
+	if len(ws) != 1 || ws[0].Error == "" {
+		t.Fatalf("scrape error not recorded: %+v", ws)
+	}
+	// A clean ingest clears the error.
+	if err := c.Ingest("w0", workerExposition(t, "shadow", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if ws := c.WorkersJSON(); ws[0].Error != "" {
+		t.Fatalf("error not cleared: %+v", ws)
+	}
+}
+
+func TestTrendsFeedFromIngest(t *testing.T) {
+	clk := newFakeClock()
+	c := newTestCollector(clk)
+	c.ExpectPoints(2)
+	c.PointStart("w0", "p0", "shadow", 1)
+	for i := 0; i < 3; i++ {
+		clk.advance(time.Second)
+		c.PointProgress("w0", "p0", timing.Tick(i*30), timing.Tick(100))
+		if err := c.Ingest("w0", workerExposition(t, "shadow", int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		c.Tick()
+	}
+	tr := c.Trends()
+	for _, name := range []string{"worker/w0/progress", "worker/w0/counter_total", "fleet/progress", "fleet/points_done"} {
+		if len(tr[name]) == 0 {
+			t.Errorf("trend %q empty; have %v", name, c.store.Names())
+		}
+	}
+}
+
+func TestNilCollectorInert(t *testing.T) {
+	var c *Collector
+	c.Register("w0", "local")
+	c.ExpectPoints(5)
+	c.PointStart("w0", "p", "s", 1)
+	if c.PointProgress("w0", "p", 1, 2) {
+		t.Fatal("nil collector requested a snapshot")
+	}
+	c.PointDone("w0", "p", "s", 1, 2)
+	if err := c.Ingest("w0", []byte("x 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestStatus("w0", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestBlame("w0", []byte("[]")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetError("w0", nil)
+	if c.Tick() != nil || c.Watch() != nil || c.WorkersJSON() != nil || c.Trends() != nil {
+		t.Fatal("nil collector produced state")
+	}
+	if err := c.WriteMetrics(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.MarshalFleet(), []byte("{}\n")) {
+		t.Fatalf("nil MarshalFleet = %q", c.MarshalFleet())
+	}
+}

@@ -1,0 +1,304 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"shadow/internal/obs"
+)
+
+// Prometheus text-format (0.0.4) parser: the inverse of obs.WritePrometheus.
+// Scraped /metrics payloads from remote shadowsim workers and in-process
+// worker registries render through the same exposition writer, so one parser
+// brings both back into a common model and the fleet aggregator never needs
+// two merge paths. The parser is deliberately faithful rather than lenient:
+// Write(Parse(text)) is byte-identical for everything the obs layer emits
+// (the round-trip regression test pins this), because each sample keeps its
+// verbatim value text alongside the parsed float.
+
+// Label is one parsed label pair, unescaped.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Sample is one exposition line: a metric name, its ordered label pairs, and
+// the sample value. Raw preserves the value text exactly as scraped so
+// re-exposition is byte-identical; Value carries the parsed number for
+// aggregation.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+	Raw    string
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s Sample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Family groups the samples declared under one # TYPE line. For histogram
+// families the samples carry the _bucket/_sum/_count suffixes on their own
+// names, following the exposition convention.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", or "untyped"
+	Samples []Sample
+}
+
+// Parse reads a Prometheus text-format 0.0.4 document into its families, in
+// document order. Samples that precede any # TYPE declaration, or that do
+// not belong to the current family (name mismatch beyond the histogram
+// suffixes), open a new untyped family. Blank lines are ignored; any other
+// unparsable line is an error naming its line number.
+func Parse(data []byte) ([]Family, error) {
+	var fams []Family
+	cur := -1 // index into fams of the open family
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("fleet: line %d: HELP without a metric name", ln+1)
+			}
+			// HELP opens a family; the TYPE line for the same name joins it.
+			fams = append(fams, Family{Name: name, Help: help, Type: "untyped"})
+			cur = len(fams) - 1
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("fleet: line %d: unknown metric type %q", ln+1, typ)
+			}
+			if cur >= 0 && fams[cur].Name == name && len(fams[cur].Samples) == 0 {
+				fams[cur].Type = typ
+				continue
+			}
+			fams = append(fams, Family{Name: name, Type: typ})
+			cur = len(fams) - 1
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: line %d: %w", ln+1, err)
+		}
+		if cur < 0 || !sampleBelongs(fams[cur], s) {
+			fams = append(fams, Family{Name: s.Name, Type: "untyped"})
+			cur = len(fams) - 1
+		}
+		fams[cur].Samples = append(fams[cur].Samples, s)
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample line continues family f: its name
+// matches the family name, or — for histograms — the name plus one of the
+// _bucket/_sum/_count suffixes.
+func sampleBelongs(f Family, s Sample) bool {
+	if s.Name == f.Name {
+		return true
+	}
+	if f.Type != "histogram" && f.Type != "summary" {
+		return false
+	}
+	rest, ok := strings.CutPrefix(s.Name, f.Name)
+	if !ok {
+		return false
+	}
+	switch rest {
+	case "_bucket", "_sum", "_count":
+		return true
+	}
+	return false
+}
+
+// parseSample parses one `name{k="v",...} value` line.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := metricNameEnd(line)
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	raw := strings.TrimSpace(rest)
+	if raw == "" {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	v, err := parseValue(raw)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", line, raw)
+	}
+	s.Raw = raw
+	s.Value = v
+	return s, nil
+}
+
+// metricNameEnd returns the length of the metric-name prefix of line.
+func metricNameEnd(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+			continue
+		}
+		if i > 0 && c >= '0' && c <= '9' {
+			continue
+		}
+		return i
+	}
+	return len(line)
+}
+
+// parseLabels reads a {k="v",...} block (s starts at the '{'), returning the
+// unescaped pairs and the remainder of the line after the '}'.
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j == len(s) || j == i {
+			return nil, "", fmt.Errorf("malformed label near %q", s[i:])
+		}
+		key := s[i:j]
+		if j+1 >= len(s) || s[j+1] != '"' {
+			return nil, "", fmt.Errorf("label %s: value is not quoted", key)
+		}
+		value, next, err := parseQuoted(s[j+1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", key, err)
+		}
+		labels = append(labels, Label{Key: key, Value: value})
+		i = j + 1 + next
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted unescapes a double-quoted label value (s starts at the opening
+// quote), handling \\, \", and \n. It returns the value and how many input
+// bytes were consumed including both quotes.
+func parseQuoted(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
+
+// parseValue parses a sample value, accepting the exposition format's +Inf,
+// -Inf, and NaN spellings alongside ordinary numbers.
+func parseValue(raw string) (float64, error) {
+	switch raw {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(raw, 64)
+}
+
+// Write renders families back to exposition text: # HELP (when present) and
+// # TYPE lines per family, then each sample with obs.PromLabel escaping.
+// For documents produced by obs.WritePrometheus, Write(Parse(doc)) == doc.
+func Write(w io.Writer, fams []Family) error {
+	var b strings.Builder
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		if f.Type != "" && f.Type != "untyped" {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		}
+		for _, s := range f.Samples {
+			writeSample(&b, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample renders one sample line.
+func writeSample(b *strings.Builder, s Sample) {
+	b.WriteString(s.Name)
+	if len(s.Labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range s.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(obs.PromLabel(l.Key, l.Value))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(s.Raw)
+	b.WriteByte('\n')
+}
+
+// formatValue renders an aggregated number the way the obs layer would have:
+// integral values print as integers (counters and gauges are int64-backed),
+// everything else through the shortest float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"shadow/internal/obs"
+)
+
+// buildRegistry populates a recorder's metrics with the golden instrument
+// mix: counters, gauges, histograms with several buckets, and hostile
+// instrument names exercising every escape the exposition format defines.
+func buildRegistry(t *testing.T) *obs.Metrics {
+	t.Helper()
+	rec := obs.NewRecorder(obs.Options{Metrics: true})
+	p := rec.NewTrack(`shadow/mix-high/h4096`)
+	c := p.Counter("dram/flips_total")
+	c.Add(7)
+	p.Counter("memctrl/acts_total").Add(123456)
+	p.Gauge("memctrl/queue_depth").Set(42)
+	h := p.Histogram("memctrl/read_latency_ps")
+	for _, v := range []int64{1, 2, 5, 100, 10000, 0, 3} {
+		h.Observe(v)
+	}
+	// Hostile label value: backslash, quote, newline.
+	hostile := rec.NewTrack("evil\\name\"with\nnewline")
+	hostile.Counter("x").Add(1)
+	return rec.Metrics()
+}
+
+// TestRoundTripByteIdentical is the satellite regression: WritePrometheus →
+// Parse → Write must be byte-identical, including escaped label values and
+// histogram families.
+func TestRoundTripByteIdentical(t *testing.T) {
+	m := buildRegistry(t)
+	var orig bytes.Buffer
+	if err := m.WritePrometheus(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Len() == 0 {
+		t.Fatal("empty exposition")
+	}
+	fams, err := Parse(orig.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bytes.Buffer
+	if err := Write(&back, fams); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), back.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\n--- original ---\n%s\n--- re-exposed ---\n%s", orig.String(), back.String())
+	}
+}
+
+// TestParseHistogramMonotonic checks bucket monotonicity survives the parse:
+// cumulative counts never decrease along le, and +Inf equals _count.
+func TestParseHistogramMonotonic(t *testing.T) {
+	var b bytes.Buffer
+	if err := buildRegistry(t).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := Parse(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, f := range fams {
+		if f.Type != "histogram" {
+			continue
+		}
+		// Group bucket samples by instrument name.
+		byName := map[string][]Sample{}
+		counts := map[string]float64{}
+		var order []string
+		for _, s := range f.Samples {
+			name := s.Label("name")
+			switch s.Name {
+			case f.Name + "_bucket":
+				if _, ok := byName[name]; !ok {
+					order = append(order, name)
+				}
+				byName[name] = append(byName[name], s)
+			case f.Name + "_count":
+				counts[name] = s.Value
+			}
+		}
+		for _, name := range order {
+			buckets := byName[name]
+			prev := -1.0
+			for _, s := range buckets {
+				if s.Value < prev {
+					t.Errorf("%s{%s}: bucket at le=%s decreases (%v < %v)", f.Name, name, s.Label("le"), s.Value, prev)
+				}
+				prev = s.Value
+			}
+			last := buckets[len(buckets)-1]
+			if last.Label("le") != "+Inf" {
+				t.Errorf("%s{%s}: last bucket le=%q, want +Inf", f.Name, name, last.Label("le"))
+			}
+			if last.Value != counts[name] {
+				t.Errorf("%s{%s}: +Inf bucket %v != count %v", f.Name, name, last.Value, counts[name])
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no histograms checked")
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	doc := "shadow_counter{name=\"evil\\\\name\\\"with\\nnewline/x\"} 1\n"
+	fams, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 1 {
+		t.Fatalf("families = %+v", fams)
+	}
+	got := fams[0].Samples[0].Label("name")
+	want := "evil\\name\"with\nnewline/x"
+	if got != want {
+		t.Fatalf("unescaped label = %q, want %q", got, want)
+	}
+	var back bytes.Buffer
+	if err := Write(&back, fams); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != doc {
+		t.Fatalf("re-exposed %q, want %q", back.String(), doc)
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	doc := "a 1\nb +Inf\nc -Inf\nd NaN\ne 1.5e-3\n"
+	fams, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			vals[s.Name] = s.Value
+		}
+	}
+	if vals["a"] != 1 || !math.IsInf(vals["b"], 1) || !math.IsInf(vals["c"], -1) || !math.IsNaN(vals["d"]) || vals["e"] != 0.0015 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestParseErrorsNameLines(t *testing.T) {
+	cases := []string{
+		"ok 1\n{} 2\n",                         // malformed sample, line 2
+		"x{name=\"unterminated} 1\n",           // unterminated quote, line 1
+		"# TYPE x flotsam\n",                   // unknown type
+		"x{name=\"a\"} notanumber\n",           // bad value
+		"x{name=\"a\\q\"} 1\n",                 // unknown escape
+		"# HELP  missing-name-help\nok 1\n",    // HELP without metric name
+		"x 1 trailing junk that is no float\n", // value is not one token
+	}
+	for _, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("Parse(%q): no error", doc)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("Parse(%q): error %q does not name a line", doc, err)
+		}
+	}
+}
+
+func TestParseGroupsHistogramSuffixes(t *testing.T) {
+	doc := "# TYPE shadow_histogram histogram\n" +
+		"shadow_histogram_bucket{name=\"a\",le=\"1\"} 1\n" +
+		"shadow_histogram_sum{name=\"a\"} 3\n" +
+		"shadow_histogram_count{name=\"a\"} 1\n" +
+		"other 9\n"
+	fams, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2 (histogram + stray untyped)", len(fams))
+	}
+	if fams[0].Name != "shadow_histogram" || len(fams[0].Samples) != 3 {
+		t.Fatalf("histogram family = %+v", fams[0])
+	}
+	if fams[1].Name != "other" || fams[1].Type != "untyped" {
+		t.Fatalf("stray family = %+v", fams[1])
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		42:     "42",
+		-3:     "-3",
+		1.5:    "1.5",
+		0.0015: "0.0015",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The scrape path: remote shadowsim processes started with -inspect (and a
+// -worker-id) already serve /metrics, /status.json, and /blame.json; the
+// Poller fetches them on a fixed interval and feeds the same Collector
+// entry points the in-process hooks use — one merge path for both sources.
+
+// Target is one remote worker to scrape.
+type Target struct {
+	// ID is the fleet worker id ("" derives it from the URL host:port).
+	ID string
+	// BaseURL is the worker inspector's root, e.g. "http://127.0.0.1:8081".
+	BaseURL string
+}
+
+// ParseTarget parses a -fleet-scrape flag value: "id=url" or a bare URL.
+func ParseTarget(s string) (Target, error) {
+	id, url, found := strings.Cut(s, "=")
+	if !found {
+		url = s
+		id = ""
+	}
+	url = strings.TrimSuffix(url, "/")
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		return Target{}, fmt.Errorf("fleet: scrape target %q: URL must start with http:// or https://", s)
+	}
+	if id == "" {
+		id = strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+	}
+	return Target{ID: id, BaseURL: url}, nil
+}
+
+// Poller periodically scrapes a set of remote workers into a Collector.
+type Poller struct {
+	c       *Collector
+	client  *http.Client
+	targets []Target
+	ticker  *time.Ticker
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewPoller builds a poller over the collector. client may be nil (a 5 s
+// timeout default is used); targets are registered immediately so the
+// dashboard lists them before the first scrape lands.
+func NewPoller(c *Collector, targets []Target, client *http.Client) *Poller {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	for _, t := range targets {
+		c.Register(t.ID, t.BaseURL)
+	}
+	return &Poller{c: c, client: client, targets: targets, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start launches the scrape loop at the given interval. The goroutine exits
+// when Stop is called; each round scrapes every target then ticks the
+// collector (trends + watchdogs).
+func (p *Poller) Start(interval time.Duration) {
+	if p == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p.ticker = time.NewTicker(interval)
+	go func() {
+		defer close(p.done)
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-p.ticker.C:
+				p.ScrapeAll()
+				p.c.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the scrape loop and waits for the goroutine to exit.
+func (p *Poller) Stop() {
+	if p == nil {
+		return
+	}
+	if p.ticker != nil {
+		p.ticker.Stop()
+	}
+	close(p.stop)
+	<-p.done
+}
+
+// ScrapeAll scrapes every target once (also usable without Start for
+// poll-on-demand tests).
+func (p *Poller) ScrapeAll() {
+	if p == nil {
+		return
+	}
+	for _, t := range p.targets {
+		p.ScrapeOnce(t)
+	}
+}
+
+// ScrapeOnce fetches one worker's /metrics, /status.json, and /blame.json
+// and folds them into the collector. A failed endpoint is recorded against
+// the worker (shown on the dashboard) without aborting the others.
+func (p *Poller) ScrapeOnce(t Target) {
+	if p == nil {
+		return
+	}
+	if body, err := p.get(t.BaseURL + "/metrics"); err != nil {
+		p.c.SetError(t.ID, err)
+	} else if err := p.c.Ingest(t.ID, body); err != nil {
+		p.c.SetError(t.ID, err)
+	}
+	if body, err := p.get(t.BaseURL + "/status.json"); err != nil {
+		p.c.SetError(t.ID, err)
+	} else if err := p.c.IngestStatus(t.ID, body); err != nil {
+		p.c.SetError(t.ID, err)
+	}
+	// Blame is optional: shadowsim runs without -blame serve an empty array,
+	// and older workers may not expose the endpoint at all.
+	if body, err := p.get(t.BaseURL + "/blame.json"); err == nil {
+		p.c.IngestBlame(t.ID, body)
+	}
+}
+
+func (p *Poller) get(url string) ([]byte, error) {
+	resp, err := p.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStoreCapacityBound(t *testing.T) {
+	s := NewStore(8)
+	for i := 0; i < 10000; i++ {
+		s.Append("x", int64(i), float64(i))
+	}
+	pts := s.Trend("x")
+	if len(pts) >= 8 {
+		t.Fatalf("series holds %d points, capacity 8", len(pts))
+	}
+	if len(pts) == 0 {
+		t.Fatal("series empty")
+	}
+}
+
+func TestStoreStrideDoubles(t *testing.T) {
+	s := NewStore(4)
+	if s.Stride("x") != 0 {
+		t.Fatalf("stride of missing series = %d, want 0", s.Stride("x"))
+	}
+	s.Append("x", 0, 1)
+	if got := s.Stride("x"); got != 1 {
+		t.Fatalf("fresh stride = %d, want 1", got)
+	}
+	// Filling to capacity triggers one compaction: stride 1 -> 2.
+	for i := 1; i < 4; i++ {
+		s.Append("x", int64(i), 1)
+	}
+	if got := s.Stride("x"); got != 2 {
+		t.Fatalf("stride after first compaction = %d, want 2", got)
+	}
+	// Reaching capacity again needs 2 raw samples per point now.
+	for i := 4; i < 8; i++ {
+		s.Append("x", int64(i), 1)
+	}
+	if got := s.Stride("x"); got != 4 {
+		t.Fatalf("stride after second compaction = %d, want 4", got)
+	}
+}
+
+// TestStoreWindowSpansRun: downsampling keeps the left edge — the oldest
+// stored point always condenses the run's first raw sample, unlike an
+// overwrite-oldest ring.
+func TestStoreWindowSpansRun(t *testing.T) {
+	s := NewStore(16)
+	for i := 0; i < 5000; i++ {
+		s.Append("x", int64(i), float64(i))
+	}
+	pts := s.Trend("x")
+	if pts[0].At != 0 {
+		t.Fatalf("oldest stored point At = %d, want 0 (left edge truncated)", pts[0].At)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At <= pts[i-1].At {
+			t.Fatalf("stored instants not increasing: %v", pts)
+		}
+	}
+}
+
+// TestStoreMeanPreserved: compaction merges by mean, so a constant series
+// stays constant and a linear ramp keeps its mean per merged window.
+func TestStoreMeanPreserved(t *testing.T) {
+	s := NewStore(8)
+	for i := 0; i < 1000; i++ {
+		s.Append("flat", int64(i), 7)
+	}
+	for _, p := range s.Trend("flat") {
+		if p.V != 7 {
+			t.Fatalf("constant series drifted: %v", s.Trend("flat"))
+		}
+	}
+	s2 := NewStore(4)
+	// 8 raw samples 0..7 through capacity 4: ends at stride 4, 2 points with
+	// means 1.5 and 5.5.
+	for i := 0; i < 8; i++ {
+		s2.Append("ramp", int64(i), float64(i))
+	}
+	pts := s2.Trend("ramp")
+	if len(pts) != 2 || math.Abs(pts[0].V-1.5) > 1e-12 || math.Abs(pts[1].V-5.5) > 1e-12 {
+		t.Fatalf("ramp trend = %v, want means [1.5 5.5]", pts)
+	}
+}
+
+func TestStoreOddCapacityRoundsUp(t *testing.T) {
+	s := NewStore(5)
+	if s.cap != 6 {
+		t.Fatalf("cap = %d, want 6", s.cap)
+	}
+	if NewStore(0).cap != DefaultTrendCapacity {
+		t.Fatal("zero capacity should take the default")
+	}
+}
+
+func TestStoreNamesSortedAndNilSafe(t *testing.T) {
+	var nilStore *Store
+	nilStore.Append("x", 0, 1)
+	if nilStore.Trend("x") != nil || nilStore.Names() != nil || nilStore.Stride("x") != 0 {
+		t.Fatal("nil Store must be inert")
+	}
+	s := NewStore(8)
+	s.Append("b", 0, 1)
+	s.Append("a", 0, 1)
+	s.Append("c", 0, 1)
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("Names() = %v, want sorted [a b c]", names)
+	}
+	// Trend returns a copy: mutating it must not corrupt the store.
+	pts := s.Trend("a")
+	pts[0].V = 999
+	if s.Trend("a")[0].V != 1 {
+		t.Fatal("Trend() aliases internal storage")
+	}
+}

@@ -47,9 +47,16 @@ type Inspector struct {
 
 	mu      sync.Mutex
 	label   string
+	worker  string
 	now     timing.Tick
 	total   timing.Tick
 	started time.Time
+	// points tracks every label Observe has seen, in first-observation
+	// order: shadowexp sweeps move the inspector through one labeled point
+	// after another, and the /metrics exposition reports each under its own
+	// point label instead of letting the last writer clobber a shared gauge.
+	points   []pointState
+	pointIdx map[string]int
 	// lastObserve/lastSim are the previous snapshot's wall and simulated
 	// time, for the sim-us-per-wall-second rate.
 	lastObserve time.Time
@@ -68,10 +75,32 @@ type Inspector struct {
 	seen   bool
 }
 
+// pointState is one observed run phase (experiment point) for the
+// per-point progress gauges.
+type pointState struct {
+	label string
+	now   timing.Tick
+	total timing.Tick
+	done  bool
+}
+
 // NewInspector builds an inspector. clock supplies wall time (time.Now in
 // production, a fake in tests).
 func NewInspector(clock func() time.Time) *Inspector {
-	return &Inspector{clock: clock, minGap: time.Second}
+	return &Inspector{clock: clock, minGap: time.Second, pointIdx: map[string]int{}}
+}
+
+// SetWorker attaches a fleet worker identity: it appears as the "worker"
+// field of /status.json and a shadow_worker_info gauge on /metrics, letting
+// a fleet collector scraping this process key its registry entry. Safe on a
+// nil receiver.
+func (ins *Inspector) SetWorker(id string) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	ins.worker = id
 }
 
 // SetSources attaches the data sources. Call before the run starts.
@@ -96,7 +125,14 @@ func (ins *Inspector) Observe(label string, now, total timing.Tick) {
 	defer ins.mu.Unlock()
 	if !ins.seen || label != ins.label {
 		// First observation, or a new run phase (shadowexp moves through
-		// labeled experiment points): reset the rate baseline.
+		// labeled experiment points): reset the rate baseline and mark the
+		// previous point finished — a sequential sweep only moves on when
+		// its current point completes.
+		if ins.seen {
+			if i, ok := ins.pointIdx[ins.label]; ok {
+				ins.points[i].done = true
+			}
+		}
 		ins.seen = true
 		ins.label = label
 		ins.started = wall
@@ -106,6 +142,16 @@ func (ins *Inspector) Observe(label string, now, total timing.Tick) {
 		ins.nextAt = wall // refresh immediately
 	}
 	ins.now, ins.total = now, total
+	i, ok := ins.pointIdx[label]
+	if !ok {
+		if ins.pointIdx == nil {
+			ins.pointIdx = map[string]int{}
+		}
+		i = len(ins.points)
+		ins.pointIdx[label] = i
+		ins.points = append(ins.points, pointState{label: label})
+	}
+	ins.points[i].now, ins.points[i].total = now, total
 	if wall.Before(ins.nextAt) {
 		return
 	}
@@ -148,12 +194,17 @@ func (ins *Inspector) Done() {
 	defer ins.mu.Unlock()
 	ins.done = true
 	ins.now = ins.total
+	for i := range ins.points {
+		ins.points[i].done = true
+		ins.points[i].now = ins.points[i].total
+	}
 	ins.refreshLocked()
 }
 
 // status is the JSON shape of /status.json.
 type status struct {
 	Label       string  `json:"label"`
+	Worker      string  `json:"worker,omitempty"`
 	Done        bool    `json:"done"`
 	SimNowPS    int64   `json:"sim_now_ps"`
 	SimTotalPS  int64   `json:"sim_total_ps"`
@@ -166,6 +217,7 @@ type status struct {
 // snap is one consistent copy of the cached state, taken under the lock.
 type snap struct {
 	st      status
+	points  []pointState
 	metrics []byte
 	blame   []byte
 	prom    []byte
@@ -178,6 +230,7 @@ func (ins *Inspector) snapshot() snap {
 	defer ins.mu.Unlock()
 	st := status{
 		Label:       ins.label,
+		Worker:      ins.worker,
 		Done:        ins.done,
 		SimNowPS:    int64(ins.now),
 		SimTotalPS:  int64(ins.total),
@@ -190,25 +243,58 @@ func (ins *Inspector) snapshot() snap {
 	if ins.seen {
 		st.ElapsedSec = ins.clock().Sub(ins.started).Seconds()
 	}
-	return snap{st: st, metrics: ins.metricsJSON, blame: ins.blameJSON, prom: ins.promText, flight: ins.flightJSON}
+	return snap{
+		st:      st,
+		points:  append([]pointState(nil), ins.points...),
+		metrics: ins.metricsJSON,
+		blame:   ins.blameJSON,
+		prom:    ins.promText,
+		flight:  ins.flightJSON,
+	}
 }
 
 // writeRunMetrics renders the run-status half of the /metrics payload:
 // progress, rate, and event count as Prometheus gauges/counters, ahead of
-// the cached instrument-registry exposition.
-func writeRunMetrics(w io.Writer, st status) {
+// the cached instrument-registry exposition. Every observed point gets its
+// own point-labelled progress/done series (first-observation order, which
+// is deterministic for a given sweep) — the shared shadow_run_* gauges
+// describe only the most recently observed point.
+func writeRunMetrics(w io.Writer, st status, points []pointState) {
 	state := int64(0)
 	if st.Done {
 		state = 1
 	}
 	fmt.Fprintf(w, "# HELP shadow_run_info Run identity; the label carries the run or experiment-point name.\n")
 	fmt.Fprintf(w, "# TYPE shadow_run_info gauge\nshadow_run_info{%s} 1\n", PromLabel("label", st.Label))
+	if st.Worker != "" {
+		fmt.Fprintf(w, "# HELP shadow_worker_info Fleet worker identity of this process.\n")
+		fmt.Fprintf(w, "# TYPE shadow_worker_info gauge\nshadow_worker_info{%s} 1\n", PromLabel("worker", st.Worker))
+	}
 	fmt.Fprintf(w, "# TYPE shadow_run_done gauge\nshadow_run_done %d\n", state)
 	fmt.Fprintf(w, "# TYPE shadow_run_progress_ratio gauge\nshadow_run_progress_ratio %g\n", st.Percent/100)
 	fmt.Fprintf(w, "# TYPE shadow_run_sim_picoseconds gauge\nshadow_run_sim_picoseconds %d\n", st.SimNowPS)
 	fmt.Fprintf(w, "# TYPE shadow_run_sim_total_picoseconds gauge\nshadow_run_sim_total_picoseconds %d\n", st.SimTotalPS)
 	fmt.Fprintf(w, "# TYPE shadow_run_sim_us_per_second gauge\nshadow_run_sim_us_per_second %g\n", st.SimUSPerSec)
 	fmt.Fprintf(w, "# TYPE shadow_run_events_total counter\nshadow_run_events_total %d\n", st.Events)
+	if len(points) > 0 {
+		fmt.Fprintf(w, "# HELP shadow_run_point_progress_ratio Per-point progress; every observed experiment point keeps its own series.\n")
+		fmt.Fprintf(w, "# TYPE shadow_run_point_progress_ratio gauge\n")
+		for _, p := range points {
+			ratio := 0.0
+			if p.total > 0 {
+				ratio = float64(p.now) / float64(p.total)
+			}
+			fmt.Fprintf(w, "shadow_run_point_progress_ratio{%s} %g\n", PromLabel("point", p.label), ratio)
+		}
+		fmt.Fprintf(w, "# TYPE shadow_run_point_done gauge\n")
+		for _, p := range points {
+			d := 0
+			if p.done {
+				d = 1
+			}
+			fmt.Fprintf(w, "shadow_run_point_done{%s} %d\n", PromLabel("point", p.label), d)
+		}
+	}
 }
 
 // Handler returns the inspector's HTTP handler:
@@ -262,7 +348,7 @@ func (ins *Inspector) Handler() http.Handler {
 		s := ins.snapshot()
 		w.Header().Set("Content-Type", ContentTypePrometheus)
 		w.Header().Set("Cache-Control", "no-store")
-		writeRunMetrics(w, s.st)
+		writeRunMetrics(w, s.st, s.points)
 		w.Write(s.prom)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

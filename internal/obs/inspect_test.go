@@ -240,3 +240,104 @@ func TestInspectorLabelChangeResetsRate(t *testing.T) {
 		t.Errorf("rate carried across label change: %f", st.SimUSPerSec)
 	}
 }
+
+// TestInspectorPerPointGauges is the last-writer-clobber regression: a sweep
+// moving through several labeled points must keep one progress/done series
+// per point on /metrics instead of a single shared gauge that only describes
+// the latest point.
+func TestInspectorPerPointGauges(t *testing.T) {
+	now := time.Unix(0, 0)
+	ins := NewInspector(func() time.Time { return now })
+	srv := httptest.NewServer(ins.Handler())
+	defer srv.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	ins.Observe("shadow/mix/h64", 50*timing.Microsecond, 100*timing.Microsecond)
+	// The sweep moves to its second point: the first is thereby complete.
+	ins.Observe("baseline/mix/h64", 25*timing.Microsecond, 100*timing.Microsecond)
+
+	body := scrape()
+	for _, want := range []string{
+		`shadow_run_point_progress_ratio{point="shadow/mix/h64"} 0.5`,
+		`shadow_run_point_progress_ratio{point="baseline/mix/h64"} 0.25`,
+		`shadow_run_point_done{point="shadow/mix/h64"} 1`,
+		`shadow_run_point_done{point="baseline/mix/h64"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The shared gauge still describes the current point only.
+	if !strings.Contains(body, "shadow_run_progress_ratio 0.25") {
+		t.Errorf("shared gauge wrong:\n%s", body)
+	}
+
+	ins.Done()
+	body = scrape()
+	for _, want := range []string{
+		`shadow_run_point_done{point="baseline/mix/h64"} 1`,
+		`shadow_run_point_progress_ratio{point="baseline/mix/h64"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics after Done missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestInspectorSetWorker: the fleet worker identity reaches /status.json and
+// the shadow_worker_info gauge, and stays absent when unset.
+func TestInspectorSetWorker(t *testing.T) {
+	now := time.Unix(0, 0)
+	ins := NewInspector(func() time.Time { return now })
+	ins.Observe("shadow/mix", 1, 2)
+
+	var st struct {
+		Worker string `json:"worker"`
+	}
+	srv := httptest.NewServer(ins.Handler())
+	defer srv.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); strings.Contains(body, "shadow_worker_info") {
+		t.Errorf("worker gauge emitted without an identity:\n%s", body)
+	}
+	if err := json.Unmarshal([]byte(get("/status.json")), &st); err != nil || st.Worker != "" {
+		t.Fatalf("status worker = %q err %v, want empty", st.Worker, err)
+	}
+
+	ins.SetWorker("sim3")
+	if body := get("/metrics"); !strings.Contains(body, `shadow_worker_info{worker="sim3"} 1`) {
+		t.Errorf("/metrics missing worker identity:\n%s", body)
+	}
+	if err := json.Unmarshal([]byte(get("/status.json")), &st); err != nil || st.Worker != "sim3" {
+		t.Fatalf("status worker = %q err %v, want sim3", st.Worker, err)
+	}
+
+	var nilIns *Inspector
+	nilIns.SetWorker("x") // must not panic
+}
