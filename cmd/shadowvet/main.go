@@ -21,7 +21,13 @@
 // under a lock (lockflow, flow-sensitive over the internal/analysis/cfg
 // control-flow graphs), a visible termination signal on every go
 // statement (goroleak), and guarded writes to hot-path simulator state
-// from goroutines or callbacks (sharedflow). A finding can be waived with
+// from goroutines or callbacks (sharedflow). Two interprocedural
+// analyzers work over the module-wide call graph
+// (internal/analysis/callgraph): allocflow proves everything reachable
+// from the hot-path roots (the scheduler tick, the controller step, the
+// minq/flight/span recording paths) allocation-free, and detflow flags
+// calls from the simulation packages that transitively reach a
+// nondeterminism source in unrestricted code. A finding can be waived with
 // a "//shadowvet:ignore <analyzer> -- reason" comment on or above the
 // offending line; the driver checks the waivers themselves (a reason is
 // mandatory and a waiver that suppresses nothing is itself a finding).

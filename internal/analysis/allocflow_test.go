@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllocFlow(t *testing.T) {
+	pkg := loadFixture(t, "allocflow", "")
+	checkFixture(t, AllocFlow, pkg)
+}
+
+// TestAllocFlowCategories pins every allocation category the analyzer
+// knows to at least one fixture finding — a message regression cannot
+// silently drop a category — and requires the hot-path chain on each.
+func TestAllocFlowCategories(t *testing.T) {
+	pkg := loadFixture(t, "allocflow", "")
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{AllocFlow})
+	categories := []string{
+		"go statement starts a goroutine",
+		"composite literal taken by address",
+		"slice literal allocates",
+		"map literal allocates",
+		"string concatenation allocates",
+		"map write may grow",
+		"make allocates",
+		"new allocates",
+		"append may grow its backing array",
+		"string conversion",
+		"fmt.Println call allocates",
+		"call through a function value",
+		"outside the analyzed tree",
+		"variadic call allocates its argument slice",
+		"interface boxing",
+		"closure capture of r allocates",
+	}
+	for _, cat := range categories {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, cat) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding for category %q in %d findings", cat, len(diags))
+		}
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "on the allocation-free hot path (") {
+			t.Errorf("finding without a hot-path chain: %v", d)
+		}
+	}
+}
+
+// TestAllocFlowChain: findings deep in the tree carry the root → … → fn
+// blame chain, so a reader knows which registered root is violated.
+func TestAllocFlowChain(t *testing.T) {
+	pkg := loadFixture(t, "allocflow", "")
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{AllocFlow})
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "sim.runner.tick → sim.runner.mid → sim.runner.deep") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no finding carries the tick → mid → deep chain: %v", diags)
+	}
+}
+
+// TestAllocFlowCrossPackage: the hot tree follows static calls across a
+// package boundary, and the finding lands in the dependency's file.
+func TestAllocFlowCrossPackage(t *testing.T) {
+	l, err := testLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	rootPkgs, err := l.LoadDir(filepath.Join("testdata", "src", "allocflowx", "root"))
+	if err != nil {
+		t.Fatalf("load root: %v", err)
+	}
+	depPkgs, err := l.LoadDir(filepath.Join("testdata", "src", "allocflowx", "dep"))
+	if err != nil {
+		t.Fatalf("load dep: %v", err)
+	}
+	pkgs := append(rootPkgs, depPkgs...)
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("type error: %v", terr)
+		}
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{AllocFlow})
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly the one in dep: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if filepath.Base(d.Pos.Filename) != "dep.go" {
+		t.Errorf("finding should land in dep.go, got %v", d)
+	}
+	if !strings.Contains(d.Message, "sim.runner.tick → dep.Grow") {
+		t.Errorf("finding should carry the cross-package chain, got %v", d)
+	}
+}

@@ -32,6 +32,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"shadow/internal/analysis/callgraph"
 )
 
 // An Analyzer is one named check.
@@ -42,11 +44,56 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the pass's package and reports findings via Pass.Reportf.
 	Run func(*Pass)
+	// Prepare, when non-nil, makes the analyzer cross-package: it runs once
+	// per Run invocation over the whole loaded package set, before any
+	// per-package pass, and its result is handed to every Run call through
+	// Pass.Facts. Prepare computes whole-program facts (reachability over
+	// the module call graph, interprocedural taint); Run stays the only
+	// reporting path, so diagnostics keep package-local positions, waiver
+	// suppression, and the scheduling-independent sorted output of the
+	// parallel driver. Prepare itself always runs sequentially, in suite
+	// order, so its facts cannot depend on goroutine interleaving.
+	Prepare func(*Module) any
 }
 
 // All returns the full shadowvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Exhaustive, NilGuard, Layering, PanicMsg, CmdErr, Locks, LockFlow, GoroLeak, SharedFlow}
+	return []*Analyzer{Determinism, Exhaustive, NilGuard, Layering, PanicMsg, CmdErr, Locks, LockFlow, GoroLeak, SharedFlow, AllocFlow, DetFlow}
+}
+
+// A Module is the whole package set of one Run, handed to cross-package
+// analyzers' Prepare hooks.
+type Module struct {
+	// Packages are the loaded packages in driver order (ExpandPatterns
+	// output, which is sorted — deterministic for a given tree).
+	Packages []*Package
+
+	cgOnce sync.Once
+	cg     *callgraph.Graph
+}
+
+// CallGraph builds (once, lazily) the call graph over every loaded package,
+// including test packages. Analyzers sharing the graph through this
+// accessor pay for construction once per Run.
+func (m *Module) CallGraph() *callgraph.Graph {
+	m.cgOnce.Do(func() {
+		var fset *token.FileSet
+		units := make([]callgraph.Unit, 0, len(m.Packages))
+		for _, pkg := range m.Packages {
+			fset = pkg.Fset
+			units = append(units, callgraph.Unit{
+				Path:  pkg.Path,
+				Files: pkg.Files,
+				Info:  pkg.Info,
+				Pkg:   pkg.Types,
+			})
+		}
+		if fset == nil {
+			fset = token.NewFileSet()
+		}
+		m.cg = callgraph.Build(fset, units)
+	})
+	return m.cg
 }
 
 // waiverAliases lets a directive written against a deprecated analyzer
@@ -103,6 +150,10 @@ type Pass struct {
 	// be partial when the package had type errors.
 	Pkg  *types.Package
 	Info *types.Info
+	// Facts is the analyzer's Prepare result for this Run (nil for
+	// per-package analyzers and for direct RunAnalyzers subset calls made
+	// without module preparation).
+	Facts any
 
 	diags   *[]Diagnostic
 	waivers map[string]map[int][]*waiver // filename -> line -> directives
@@ -209,8 +260,18 @@ type Options struct {
 }
 
 // Run applies every analyzer to every package and returns the findings
-// sorted by position.
+// sorted by position. Cross-package analyzers (Prepare != nil) first compute
+// their whole-program facts sequentially over the full package set; the
+// per-package passes — parallel or not — then consume those shared,
+// read-only facts, so output stays scheduling-independent.
 func Run(pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+	module := &Module{Packages: pkgs}
+	facts := map[string]any{}
+	for _, a := range analyzers {
+		if a.Prepare != nil {
+			facts[a.Name] = a.Prepare(module)
+		}
+	}
 	perPkg := make([][]Diagnostic, len(pkgs))
 	if opts.Parallel && len(pkgs) > 1 {
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -221,13 +282,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				perPkg[i] = analyzePackage(pkg, analyzers, opts)
+				perPkg[i] = analyzePackage(pkg, analyzers, facts, opts)
 			}(i, pkg)
 		}
 		wg.Wait()
 	} else {
 		for i, pkg := range pkgs {
-			perPkg[i] = analyzePackage(pkg, analyzers, opts)
+			perPkg[i] = analyzePackage(pkg, analyzers, facts, opts)
 		}
 	}
 	var diags []Diagnostic
@@ -258,9 +319,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 }
 
 // analyzePackage runs the analyzers over one package. Packages share no
-// mutable state (the FileSet and imported type data are read-only here), so
-// Run may call this concurrently.
-func analyzePackage(pkg *Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+// mutable state (the FileSet, imported type data, and prepared module facts
+// are read-only here), so Run may call this concurrently.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, facts map[string]any, opts Options) []Diagnostic {
 	var diags []Diagnostic
 	index, waivers := parseWaivers(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
@@ -272,6 +333,7 @@ func analyzePackage(pkg *Package, analyzers []*Analyzer, opts Options) []Diagnos
 			PkgName:  pkg.Name,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Facts:    facts[a.Name],
 			diags:    &diags,
 			waivers:  index,
 		}

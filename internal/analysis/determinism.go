@@ -121,12 +121,12 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
 				return true
 			}
 			for _, lhs := range n.Lhs {
-				if what, pos, bad := orderSensitiveLHS(pass, rng, lhs); bad {
+				if what, pos, bad := orderSensitiveLHS(pass.Info, rng, lhs); bad {
 					report(pos, what)
 				}
 			}
 		case *ast.IncDecStmt:
-			if what, pos, bad := orderSensitiveLHS(pass, rng, n.X); bad {
+			if what, pos, bad := orderSensitiveLHS(pass.Info, rng, n.X); bad {
 				report(pos, what)
 			}
 		case *ast.CallExpr:
@@ -146,16 +146,17 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
 // range makes the result order-dependent. Writes to plain variables or
 // struct fields declared outside the loop are order-sensitive (reductions,
 // last-writer-wins); writes keyed by an index expression (out[k] = v) are
-// per-key and therefore order-independent, so they pass.
-func orderSensitiveLHS(pass *Pass, rng *ast.RangeStmt, lhs ast.Expr) (string, token.Pos, bool) {
+// per-key and therefore order-independent, so they pass. It takes a bare
+// types.Info (not a Pass) so detflow's Prepare can share it.
+func orderSensitiveLHS(info *types.Info, rng *ast.RangeStmt, lhs ast.Expr) (string, token.Pos, bool) {
 	switch e := lhs.(type) {
 	case *ast.Ident:
 		if e.Name == "_" {
 			return "", 0, false
 		}
-		obj := pass.Info.Uses[e]
+		obj := info.Uses[e]
 		if obj == nil {
-			obj = pass.Info.Defs[e]
+			obj = info.Defs[e]
 		}
 		if obj == nil || !declaredOutside(obj, rng) {
 			return "", 0, false
@@ -166,7 +167,7 @@ func orderSensitiveLHS(pass *Pass, rng *ast.RangeStmt, lhs ast.Expr) (string, to
 		if root == nil {
 			return "", 0, false
 		}
-		obj := pass.Info.Uses[root]
+		obj := info.Uses[root]
 		if obj == nil || !declaredOutside(obj, rng) {
 			return "", 0, false
 		}
@@ -179,7 +180,7 @@ func orderSensitiveLHS(pass *Pass, rng *ast.RangeStmt, lhs ast.Expr) (string, to
 		if root == nil {
 			return "", 0, false
 		}
-		obj := pass.Info.Uses[root]
+		obj := info.Uses[root]
 		if obj == nil || !declaredOutside(obj, rng) {
 			return "", 0, false
 		}

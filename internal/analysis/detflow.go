@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"shadow/internal/analysis/callgraph"
+)
+
+// detSource is one nondeterminism source found in a function body.
+type detSource struct {
+	desc string // e.g. "wall-clock read time.Now"
+	pos  token.Pos
+}
+
+// detTaint records why a function is nondeterministic: either a direct
+// source in its own body (via == nil) or a tainted callee (via != nil,
+// follow the links to reach src).
+type detTaint struct {
+	src *detSource
+	// owner is the node whose body contains src.
+	owner *callgraph.Node
+	// via is the next hop on the call chain toward owner; nil when the
+	// source is in this node's own body.
+	via *callgraph.Node
+}
+
+// detFacts is the Prepare result: interprocedural nondeterminism taint over
+// the module call graph.
+type detFacts struct {
+	graph *callgraph.Graph
+	taint map[*callgraph.Node]*detTaint
+}
+
+// DetFlow propagates nondeterminism sources interprocedurally into the
+// determinism-restricted packages. The per-package determinism analyzer
+// flags sources written directly inside internal/{sim,dram,...}; detflow
+// closes the loophole it leaves: a restricted package calling a helper in
+// an unrestricted package (report, a future plugin) whose body — or whose
+// transitive callees' bodies — read the wall clock, use global math/rand,
+// or fold a map in iteration order. It also flags multi-ready selects
+// (two or more channel cases: the runtime chooses among ready cases
+// pseudo-randomly) directly in restricted packages, which the per-package
+// scan never covered. Calls through function values are not tracked
+// (optimistic, matching the per-package scan); sources inside restricted
+// packages are excluded from the taint — the determinism analyzer already
+// owns those lines, waived or fixed.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "propagate nondeterminism sources (wall-clock reads, global math/rand, order-sensitive " +
+		"map iteration, multi-ready selects) through the call graph into the determinism-restricted " +
+		"packages: a call from restricted code that transitively reaches a source outside the " +
+		"restricted set is flagged at the call site with the chain to the source",
+	Prepare: prepareDetFlow,
+	Run:     runDetFlow,
+}
+
+func prepareDetFlow(m *Module) any {
+	g := m.CallGraph()
+	facts := &detFacts{graph: g, taint: map[*callgraph.Node]*detTaint{}}
+	// Direct sources, for every node outside the restricted set whose body
+	// we have. Restricted-package sources are the determinism analyzer's
+	// jurisdiction and must not resurface at every caller.
+	direct := map[*callgraph.Node]*detSource{}
+	for _, n := range g.Nodes() {
+		if n.Body == nil || detRestrictedPath(n.PkgPath) {
+			continue
+		}
+		if src := scanDetSources(m.infoFor(n), n.Body); src != nil {
+			direct[n] = src
+		}
+	}
+	// Bottom-up propagation over the SCC condensation: callees' components
+	// come first, so one pass plus an intra-component fixpoint suffices.
+	for _, comp := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if facts.taint[n] != nil {
+					continue
+				}
+				if n.Body == nil || detRestrictedPath(n.PkgPath) {
+					continue
+				}
+				if src := direct[n]; src != nil {
+					facts.taint[n] = &detTaint{src: src, owner: n}
+					changed = true
+					continue
+				}
+				for _, e := range n.Out {
+					if e.Callee == g.Unknown {
+						continue // optimistic on function values
+					}
+					if t := facts.taint[e.Callee]; t != nil {
+						facts.taint[n] = &detTaint{src: t.src, owner: t.owner, via: e.Callee}
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// infoFor finds the types.Info that covers a node's file — the node's
+// declaring package was loaded as one of the module's packages.
+func (m *Module) infoFor(n *callgraph.Node) *types.Info {
+	if n.Decl == nil {
+		return nil
+	}
+	pos := n.Decl.Pos()
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if f.Pos() <= pos && pos < f.End() {
+				return pkg.Info
+			}
+		}
+	}
+	return nil
+}
+
+// detRestrictedPath reports whether a type-checker package path belongs to
+// the determinism-restricted set; external test packages (path suffix
+// ".test") follow their directory's package.
+func detRestrictedPath(path string) bool {
+	return restrictedPkgs[strings.TrimSuffix(path, ".test")]
+}
+
+// scanDetSources returns the first nondeterminism source in one function
+// body (shallow: nested literals are their own nodes), or nil. "First" is
+// source order, so blame is deterministic.
+func scanDetSources(info *types.Info, body *ast.BlockStmt) *detSource {
+	if info == nil {
+		return nil
+	}
+	var found *detSource
+	note := func(pos token.Pos, desc string) {
+		if found == nil || pos < found.pos {
+			found = &detSource{desc: desc, pos: pos}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested literals are their own graph nodes
+		case *ast.SelectorExpr:
+			obj := info.Uses[n.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if _, isFn := obj.(*types.Func); isFn && wallClockFuncs[obj.Name()] {
+					note(n.Pos(), "wall-clock read time."+obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				note(n.Pos(), "global math/rand use "+obj.Pkg().Name()+"."+obj.Name())
+			}
+		case *ast.RangeStmt:
+			if src := orderSensitiveMapRange(info, n); src != nil {
+				note(src.pos, src.desc)
+			}
+		case *ast.SelectStmt:
+			// A multi-ready select inside an unrestricted helper taints
+			// callers just like a clock read: which ready case runs is
+			// scheduler-chosen.
+			if cases := multiReadySelect(n); cases > 1 {
+				note(n.Pos(), fmt.Sprintf("select over %d channel cases (runtime picks among ready cases pseudo-randomly)", cases))
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// orderSensitiveMapRange reuses the determinism analyzer's order-
+// sensitivity rules on one range statement, returning the first offending
+// construct as a source description.
+func orderSensitiveMapRange(info *types.Info, rng *ast.RangeStmt) *detSource {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return nil
+	}
+	var found *detSource
+	note := func(pos token.Pos, what string) {
+		if found == nil || pos < found.pos {
+			found = &detSource{desc: "order-sensitive map iteration (" + what + ")", pos: pos}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			note(n.Pos(), "early return")
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if what, pos, bad := orderSensitiveLHS(info, rng, lhs); bad {
+					note(pos, what)
+				}
+			}
+		case *ast.IncDecStmt:
+			if what, pos, bad := orderSensitiveLHS(info, rng, n.X); bad {
+				note(pos, what)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					note(n.Pos(), "append")
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// multiReadySelect returns the number of channel communication clauses of a
+// select (default clauses excluded); two or more make the select's choice
+// scheduler-dependent when several are ready.
+func multiReadySelect(sel *ast.SelectStmt) int {
+	cases := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			cases++
+		}
+	}
+	return cases
+}
+
+func runDetFlow(pass *Pass) {
+	if !restrictedPkgs[pass.PkgPath] {
+		return
+	}
+	facts, ok := pass.Facts.(*detFacts)
+	if !ok {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				if cases := multiReadySelect(n); cases > 1 {
+					pass.Reportf(n.Pos(), "select over %d channel cases in a simulation package: the runtime picks among ready cases pseudo-randomly; restructure to a deterministic priority order or waive with the reason the choice cannot affect results", cases)
+				}
+			case *ast.CallExpr:
+				reportTaintedCall(pass, facts, n)
+			}
+			return true
+		})
+	}
+}
+
+// reportTaintedCall flags one call site in a restricted package whose
+// (transitive) callees reach a nondeterminism source outside the restricted
+// set. One finding per site: the first tainted callee in deterministic
+// order, with the count of further tainted candidates for interface calls.
+func reportTaintedCall(pass *Pass, facts *detFacts, call *ast.CallExpr) {
+	callees := facts.graph.CalleesFor(call)
+	var tainted []*callgraph.Node
+	for _, callee := range callees {
+		if detRestrictedPath(callee.PkgPath) {
+			continue // the callee's own package scan owns its sources
+		}
+		if facts.taint[callee] != nil {
+			tainted = append(tainted, callee)
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	first := tainted[0]
+	t := facts.taint[first]
+	more := ""
+	if len(tainted) > 1 {
+		more = fmt.Sprintf(" (+%d more tainted candidates)", len(tainted)-1)
+	}
+	pass.Reportf(call.Pos(), "call to %s from a simulation package reaches nondeterminism: %s at %s%s%s",
+		nodeLabel(first), t.src.desc, shortPosition(pass.Fset, t.src.pos), detChain(facts, first), more)
+}
+
+// detChain renders the call chain from the flagged callee to the source
+// owner (" via a → b") when the source is not in the callee itself.
+func detChain(facts *detFacts, callee *callgraph.Node) string {
+	t := facts.taint[callee]
+	if t == nil || t.via == nil {
+		return ""
+	}
+	var hops []string
+	for cur := callee; cur != nil; {
+		next := facts.taint[cur]
+		if next == nil || next.via == nil {
+			break
+		}
+		hops = append(hops, nodeLabel(next.via))
+		cur = next.via
+		if len(hops) >= 5 {
+			hops = append(hops, "…")
+			break
+		}
+	}
+	if len(hops) == 0 {
+		return ""
+	}
+	return " via " + strings.Join(hops, " → ")
+}
+
+// shortPosition renders file:line with just the base filename — the full
+// path is the finding's own position; the source position only needs to be
+// locatable.
+func shortPosition(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

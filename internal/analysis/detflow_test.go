@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetFlow(t *testing.T) {
+	pkg := loadFixture(t, "detflow", "shadow/internal/sim")
+	checkFixture(t, DetFlow, pkg)
+}
+
+// TestDetFlowMessages pins the source descriptions and the call chain
+// rendering: a finding must say what the nondeterminism is and where it
+// lives, not just that the call is bad.
+func TestDetFlowMessages(t *testing.T) {
+	pkg := loadFixture(t, "detflow", "shadow/internal/sim")
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{DetFlow})
+	for _, want := range []string{
+		"wall-clock read time.Now",
+		"global math/rand use rand.Intn",
+		"order-sensitive map iteration",
+		"select over 2 channel cases",
+		"reaches nondeterminism",
+		" via sim.inner", // step → outer → inner chain
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q in %v", want, diags)
+		}
+	}
+}
+
+// TestDetFlowUnrestrictedPackageSilent: without the path override the
+// fixture is an ordinary package, and detflow must not fire at all.
+func TestDetFlowUnrestrictedPackageSilent(t *testing.T) {
+	pkg := loadFixture(t, "detflow", "")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{DetFlow}); len(diags) > 0 {
+		t.Errorf("detflow fired outside the restricted packages: %v", diags)
+	}
+}

@@ -25,8 +25,12 @@ var layerImports = map[string][]string{
 	"rng":          {},
 	"analysis/cfg": {},
 
-	// The analyzer framework sits on its own CFG core.
-	"analysis": {"analysis/cfg"},
+	// The module-wide call graph sits beside the CFG core, below the
+	// analyzer framework.
+	"analysis/callgraph": {},
+
+	// The analyzer framework sits on its own CFG core and call graph.
+	"analysis": {"analysis/cfg", "analysis/callgraph"},
 
 	// Containers over timing ticks.
 	"minq": {"timing"},

@@ -1,0 +1,134 @@
+// Package sim masquerades as the real simulator package: allocflow
+// matches hot-path roots by declaring-package name plus receiver and
+// method, so this runner.tick stands in for shadow/internal/sim's and
+// everything it reaches must be allocation-free.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+type pair struct{ a, b int }
+
+type stepper interface{ step() }
+
+type fastStep struct{}
+
+func (fastStep) step() {}
+
+type slowStep struct{}
+
+func (slowStep) step() {
+	_ = make([]int, 1) // want:allocflow
+}
+
+type runner struct {
+	mu      sync.Mutex
+	buf     []int
+	raw     []byte
+	m       map[string]int
+	label   string
+	note    string
+	total   int
+	ch      rune
+	cb      func()
+	s       stepper
+	ptr     *pair
+	scratch *pair
+}
+
+var obsSink func()
+
+var globalCount int
+
+// pad's own body is clean; calling it without a spread still materializes
+// the variadic argument slice at the call site.
+func pad(xs ...int) int {
+	n := 0
+	for i := 0; i < len(xs); i++ {
+		n += xs[i]
+	}
+	return n
+}
+
+// sink's interface parameter forces callers to box non-pointer arguments.
+func sink(v any) {
+	if v == nil {
+		globalCount++
+	}
+}
+
+// observe stores the callback without invoking it; the literal still gets
+// a conservative lit edge from its encloser, so its body is scanned hot.
+func observe(f func()) {
+	obsSink = f
+}
+
+func (r *runner) tick() {
+	// Clean constructs first: value literals, slice index writes,
+	// whitelisted external calls, and guarded sections do not allocate.
+	p2 := pair{7, 8}
+	var arr [4]int
+	arr[0] = p2.a
+	if len(r.buf) > 0 {
+		r.buf[0] = arr[0]
+	}
+	_ = math.Abs(-1)
+	if r.total < 0 {
+		panic(fmt.Sprintf("bad total %d", r.total)) // exempt: crash path
+	}
+	r.mu.Lock()
+	r.total++
+	r.mu.Unlock()
+	_ = pad()
+	sink(r.ptr)
+	sink(nil)
+	observe(func() { globalCount = 0 })
+	r.drain()
+	r.s.step()
+	r.mid()
+
+	// Every allocation category, one per line.
+	go r.drain()        // want:allocflow
+	r.ptr = &pair{1, 2} // want:allocflow
+	s := []int{1, 2, 3} // want:allocflow
+	_ = s
+	m := map[string]int{} // want:allocflow
+	_ = m
+	r.label = r.label + "x" // want:allocflow
+	r.note += "y"           // want:allocflow
+	r.m["k"] = 1            // want:allocflow
+	r.buf = make([]int, 8)  // want:allocflow
+	q := new(pair)          // want:allocflow
+	_ = q
+	r.buf = append(r.buf, 1)      // want:allocflow
+	_ = string(r.raw)             // want:allocflow
+	_ = string(r.ch)              // want:allocflow
+	fmt.Println(r.label)          // want:allocflow
+	r.cb()                        // want:allocflow
+	sort.Ints(r.buf)              // want:allocflow
+	r.total = pad(1, 2)           // want:allocflow
+	sink(r.total)                 // want:allocflow
+	observe(func() { r.total++ }) // want:allocflow
+}
+
+// drain is hot through both the plain call and the go statement; its body
+// stays clean.
+func (r *runner) drain() {
+	for i := range r.buf {
+		r.buf[i] = 0
+	}
+}
+
+// mid and deep prove the interprocedural reach: the finding lands in deep
+// with the tick → mid → deep chain.
+func (r *runner) mid() {
+	r.deep()
+}
+
+func (r *runner) deep() {
+	r.scratch = new(pair) // want:allocflow
+}

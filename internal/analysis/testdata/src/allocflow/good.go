@@ -1,0 +1,23 @@
+package sim
+
+import "fmt"
+
+// Cold code — nothing here is reachable from the registered roots, so the
+// very constructs tick may not use are fine.
+func (r *runner) Reset() {
+	r.buf = append(r.buf[:0], 1, 2, 3)
+	r.m = map[string]int{}
+	r.label = fmt.Sprintf("runner-%d", r.total)
+	r.raw = []byte(r.label)
+	go r.drain()
+	r.cb = func() { r.total = 0 }
+}
+
+// Report builds output for humans; it allocates freely off the hot path.
+func Report(rs []*runner) []string {
+	var out []string
+	for _, r := range rs {
+		out = append(out, r.label+"\n")
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package dep is the dependency half of the cross-package allocflow
+// fixture: it is not a hot package by itself, but sim's tick reaches it.
+package dep
+
+func Grow(xs []int) []int {
+	return append(xs, 1) // want:allocflow
+}
+
+// Shrink is not reachable from any root; its allocation is fine.
+func Shrink(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	return out
+}

@@ -1,0 +1,12 @@
+// Package sim is the root half of the cross-package allocflow fixture:
+// tick's hot tree crosses a package boundary into dep, and the finding
+// must land in dep's file with the full blame chain.
+package sim
+
+import dep "shadow/internal/analysis/testdata/src/allocflowx/dep"
+
+type runner struct{ buf []int }
+
+func (r *runner) tick() {
+	r.buf = dep.Grow(r.buf)
+}

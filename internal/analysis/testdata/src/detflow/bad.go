@@ -1,0 +1,67 @@
+// Package sim masquerades as shadow/internal/sim for the call-site side
+// of detflow: the test overrides the pass's package path, while sources
+// keep their real (unrestricted) type-checker path — so helpers in this
+// very package play the role of the unrestricted utility packages whose
+// nondeterminism must not leak into the simulator.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClockHelper plays the unrestricted utility: its body reads the wall
+// clock, so every caller inside the restricted set is flagged at the call
+// site.
+func wallClockHelper() time.Time { return time.Now() }
+
+func inner() int { return rand.Intn(8) }
+
+func outer() int {
+	return inner() // want:detflow
+}
+
+func tickTime() {
+	_ = wallClockHelper() // want:detflow
+}
+
+func step() {
+	_ = outer() // want:detflow
+}
+
+// mapFold reduces a map in iteration order — an order-sensitive source.
+func mapFold(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func fold(m map[int]int) {
+	_ = mapFold(m) // want:detflow
+}
+
+// A multi-ready select directly in the restricted package is flagged at
+// the select itself.
+func waitTwo(a, b chan int) {
+	select { // want:detflow
+	case <-a:
+	case <-b:
+	}
+}
+
+// selectHelper's select is flagged directly (this package is restricted
+// pass-wise) and taints its callers as a source.
+func selectHelper(a, b chan int) int {
+	select { // want:detflow
+	case <-a:
+		return 1
+	case <-b:
+		return 2
+	}
+}
+
+func drainPair(a, b chan int) {
+	_ = selectHelper(a, b) // want:detflow
+}

@@ -1,0 +1,41 @@
+package sim
+
+// Deterministic helpers: calls into these carry no taint.
+func pureHelper(x int) int { return x * 2 }
+
+func calm() int {
+	return pureHelper(3)
+}
+
+// A single-case select with a default is a deterministic poll.
+func tryRecv(c chan int) (int, bool) {
+	select {
+	case v := <-c:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func poll(c chan int) {
+	_, _ = tryRecv(c)
+}
+
+// Per-key map writes are order-independent, so copyMap is not a source.
+func copyMap(src map[int]int) map[int]int {
+	out := make(map[int]int, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+func use(src map[int]int) map[int]int {
+	return copyMap(src)
+}
+
+// Calls through function values are optimistic, matching the per-package
+// determinism scan.
+func apply(f func() int) int {
+	return f()
+}

@@ -64,6 +64,8 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 		{"lockflow", ""},
 		{"goroleak", ""},
 		{"sharedflow", ""},
+		{"allocflow", ""},
+		{"detflow", "shadow/internal/sim"},
 	}
 	var pkgs []*Package
 	for _, f := range fixtures {
@@ -81,5 +83,31 @@ func TestRunParallelMatchesSequential(t *testing.T) {
 		if seq[i] != par[i] {
 			t.Errorf("finding %d differs: sequential %v, parallel %v", i, seq[i], par[i])
 		}
+	}
+}
+
+// TestModuleCallGraphDeterminism: two fully independent loads of the same
+// fixture tree (fresh loaders, fresh FileSets) must produce call graphs
+// with identical node and edge ordering. The String() dump embeds file
+// positions, which agree across loaders because the files on disk agree.
+func TestModuleCallGraphDeterminism(t *testing.T) {
+	build := func() string {
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("loader: %v", err)
+		}
+		pkgs, err := l.LoadDir("testdata/src/allocflow")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		m := &Module{Packages: pkgs}
+		return m.CallGraph().String()
+	}
+	first := build()
+	if first == "" {
+		t.Fatal("empty call-graph dump")
+	}
+	if again := build(); again != first {
+		t.Fatalf("independent loads differ:\n--- first\n%s\n--- again\n%s", first, again)
 	}
 }

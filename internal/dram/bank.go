@@ -103,8 +103,8 @@ func (b *Bank) Subarray(s int) *Subarray {
 	}
 	if b.subs[s] == nil {
 		da := b.geo.DARowsPerSubarray()
-		sa := &Subarray{
-			rows:   make([]Row, da),
+		sa := &Subarray{ //shadowvet:ignore allocflow -- first-touch lazy subarray build, warm before steady state
+			rows:   make([]Row, da), //shadowvet:ignore allocflow -- first-touch lazy subarray build, warm before steady state
 			Hammer: hammer.NewSubarray(da, b.hcfg),
 		}
 		// Every ordinary row starts with the deterministic pattern for its
@@ -142,10 +142,10 @@ func (b *Bank) readyForACT() timing.Tick { return maxTick(b.actReadyAt, b.busyUn
 // Activate opens DA row (sub, da) at time now, applying the hammer model.
 func (b *Bank) Activate(sub, da int, now timing.Tick) error {
 	if b.open {
-		return &TimingError{Cmd: "ACT (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt}
+		return &TimingError{Cmd: "ACT (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	if r := b.readyForACT(); now < r {
-		return &TimingError{Cmd: "ACT", Bank: b.id, Now: now, ReadyAt: r}
+		return &TimingError{Cmd: "ACT", Bank: b.id, Now: now, ReadyAt: r} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	b.open = true
 	b.openSub, b.openDA = sub, da
@@ -167,7 +167,7 @@ func (b *Bank) recordACT(sub, da int) {
 		bit := int((uint64(f.Row)*2654435761 + uint64(b.Stats.Flips)*40503) % uint64(b.geo.RowBytes*8))
 		sa.Row(f.Row).FlipBit(bit, b.geo.RowBytes)
 		if b.flipSink != nil {
-			b.flipSink(b.id, sub, f.Row, f)
+			b.flipSink(b.id, sub, f.Row, f) //shadowvet:ignore allocflow -- flip observer hook, nil unless tracing; flips are rare model events outside the steady-state contract
 		}
 	}
 }
@@ -175,10 +175,10 @@ func (b *Bank) recordACT(sub, da int) {
 // Read performs a column read from the open row.
 func (b *Bank) Read(now timing.Tick) error {
 	if !b.open {
-		return &TimingError{Cmd: "RD (bank closed)", Bank: b.id, Now: now, ReadyAt: timing.Forever}
+		return &TimingError{Cmd: "RD (bank closed)", Bank: b.id, Now: now, ReadyAt: timing.Forever} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	if now < b.rdReadyAt {
-		return &TimingError{Cmd: "RD", Bank: b.id, Now: now, ReadyAt: b.rdReadyAt}
+		return &TimingError{Cmd: "RD", Bank: b.id, Now: now, ReadyAt: b.rdReadyAt} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	b.preReadyAt = maxTick(b.preReadyAt, now+b.p.RTP)
 	b.Stats.Reads++
@@ -188,10 +188,10 @@ func (b *Bank) Read(now timing.Tick) error {
 // Write performs a column write to the open row.
 func (b *Bank) Write(now timing.Tick) error {
 	if !b.open {
-		return &TimingError{Cmd: "WR (bank closed)", Bank: b.id, Now: now, ReadyAt: timing.Forever}
+		return &TimingError{Cmd: "WR (bank closed)", Bank: b.id, Now: now, ReadyAt: timing.Forever} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	if now < b.rdReadyAt {
-		return &TimingError{Cmd: "WR", Bank: b.id, Now: now, ReadyAt: b.rdReadyAt}
+		return &TimingError{Cmd: "WR", Bank: b.id, Now: now, ReadyAt: b.rdReadyAt} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	b.preReadyAt = maxTick(b.preReadyAt, now+b.p.WL+b.p.BL+b.p.WR)
 	b.Stats.Writes++
@@ -205,7 +205,7 @@ func (b *Bank) Precharge(now timing.Tick) error {
 		return nil
 	}
 	if now < b.preReadyAt {
-		return &TimingError{Cmd: "PRE", Bank: b.id, Now: now, ReadyAt: b.preReadyAt}
+		return &TimingError{Cmd: "PRE", Bank: b.id, Now: now, ReadyAt: b.preReadyAt} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	b.open = false
 	b.actReadyAt = now + b.p.RP
@@ -250,10 +250,10 @@ func (b *Bank) BusyUntil() timing.Tick { return b.busyUntil }
 // restoring their charge. Called by the device for each REF command.
 func (b *Bank) AutoRefresh(n int, now timing.Tick, busy timing.Tick) error {
 	if b.open {
-		return &TimingError{Cmd: "REF (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt}
+		return &TimingError{Cmd: "REF (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	if r := b.readyForACT(); now < r {
-		return &TimingError{Cmd: "REF", Bank: b.id, Now: now, ReadyAt: r}
+		return &TimingError{Cmd: "REF", Bank: b.id, Now: now, ReadyAt: r} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	total := b.geo.DARowsPerBank()
 	daPer := b.geo.DARowsPerSubarray()

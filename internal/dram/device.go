@@ -199,7 +199,7 @@ func (d *Device) Activate(bank, paRow int, now timing.Tick) error {
 		return err
 	}
 	if paRow < 0 || paRow >= d.geo.PARowsPerBank() {
-		return fmt.Errorf("dram: PA row %d out of range [0,%d)", paRow, d.geo.PARowsPerBank())
+		return fmt.Errorf("dram: PA row %d out of range [0,%d)", paRow, d.geo.PARowsPerBank()) //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	b := d.banks[bank]
 	sub, da := d.translate(b, paRow)
@@ -241,7 +241,7 @@ func (d *Device) Precharge(bank int, now timing.Tick) error {
 func (d *Device) Refresh(now timing.Tick) error {
 	for _, b := range d.banks {
 		if b.open {
-			return &TimingError{Cmd: "REF (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt}
+			return &TimingError{Cmd: "REF (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 		}
 	}
 	for _, b := range d.banks {
@@ -249,7 +249,7 @@ func (d *Device) Refresh(now timing.Tick) error {
 			return err
 		}
 		if d.busyNotify != nil {
-			d.busyNotify(b.id, now+d.p.RFC)
+			d.busyNotify(b.id, now+d.p.RFC) //shadowvet:ignore allocflow -- wired to the controller's readiness-cache update, itself covered by the minq zero-alloc roots
 		}
 	}
 	d.Refs++
@@ -262,7 +262,7 @@ func (d *Device) Refresh(now timing.Tick) error {
 // banks keep serving. Unsupported (tRFCsb = 0) parameter sets reject it.
 func (d *Device) RefreshBank(bank int, now timing.Tick) error {
 	if d.p.RFCsb <= 0 {
-		return fmt.Errorf("dram: REFsb unsupported by %v", d.p.Grade)
+		return fmt.Errorf("dram: REFsb unsupported by %v", d.p.Grade) //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	if err := d.checkBank(bank); err != nil {
 		return err
@@ -273,7 +273,7 @@ func (d *Device) RefreshBank(bank int, now timing.Tick) error {
 	}
 	d.Refs++
 	if d.busyNotify != nil {
-		d.busyNotify(bank, now+d.p.RFCsb)
+		d.busyNotify(bank, now+d.p.RFCsb) //shadowvet:ignore allocflow -- wired to the controller's readiness-cache update, itself covered by the minq zero-alloc roots
 	}
 	d.spans.NoteBusy(bank, now, now+d.p.RFCsb, span.CauseRefresh)
 	return nil
@@ -289,10 +289,10 @@ func (d *Device) RFM(bank int, now timing.Tick) error {
 	}
 	b := d.banks[bank]
 	if b.open {
-		return &TimingError{Cmd: "RFM (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt}
+		return &TimingError{Cmd: "RFM (bank open)", Bank: b.id, Now: now, ReadyAt: b.preReadyAt} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	if r := b.readyForACT(); now < r {
-		return &TimingError{Cmd: "RFM", Bank: b.id, Now: now, ReadyAt: r}
+		return &TimingError{Cmd: "RFM", Bank: b.id, Now: now, ReadyAt: r} //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	b.Stats.RFMs++
 	b.RAA -= d.p.RAAIMT
@@ -303,7 +303,7 @@ func (d *Device) RFM(bank int, now timing.Tick) error {
 	d.mit.OnRFM(b, now)
 	b.setBusy(now + d.p.RFM)
 	if d.busyNotify != nil {
-		d.busyNotify(bank, now+d.p.RFM)
+		d.busyNotify(bank, now+d.p.RFM) //shadowvet:ignore allocflow -- wired to the controller's readiness-cache update, itself covered by the minq zero-alloc roots
 	}
 	d.spans.NoteBusy(bank, now, now+d.p.RFM, d.rfmCause)
 	return nil
@@ -318,7 +318,7 @@ func (d *Device) SwapRows(bank, paA, paB int) error {
 		return err
 	}
 	if paA == paB {
-		return fmt.Errorf("dram: swap of row %d with itself", paA)
+		return fmt.Errorf("dram: swap of row %d with itself", paA) //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	b := d.banks[bank]
 	subA, daA := d.translate(b, paA)
@@ -402,7 +402,7 @@ func (d *Device) TotalStats() BankStats {
 
 func (d *Device) checkBank(bank int) error {
 	if bank < 0 || bank >= len(d.banks) {
-		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks))
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", bank, len(d.banks)) //shadowvet:ignore allocflow -- error path for protocol violations; the controller panics on any device error, so it never runs on a green run
 	}
 	return nil
 }

@@ -23,7 +23,7 @@ func patternByte(seed uint64, i int) byte {
 // PatternBytes returns the full expected pattern for a seed — what a row
 // initialized with SetSeed(seed) contains before any corruption.
 func PatternBytes(seed uint64, n int) []byte {
-	b := make([]byte, n)
+	b := make([]byte, n) //shadowvet:ignore allocflow -- cold materialization of an untouched row's expected pattern; rows keep their buffers thereafter
 	for i := range b {
 		b[i] = patternByte(seed, i)
 	}
@@ -71,7 +71,7 @@ func (r *Row) CopyFrom(src *Row, n int) {
 		return
 	}
 	if r.data == nil || len(r.data) != len(src.data) {
-		r.data = make([]byte, len(src.data))
+		r.data = make([]byte, len(src.data)) //shadowvet:ignore allocflow -- first-touch sizing of the destination row buffer; later copies reuse it
 	}
 	copy(r.data, src.data)
 }

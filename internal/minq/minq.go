@@ -71,7 +71,7 @@ func (q *Queue) Set(i int, key timing.Tick) {
 	}
 	q.keys[i] = key
 	q.pos[i] = len(q.heap)
-	q.heap = append(q.heap, i)
+	q.heap = append(q.heap, i) //shadowvet:ignore allocflow -- heap append; capacity tops out at the tracked index count after first touches
 	q.up(q.pos[i])
 }
 

@@ -11,7 +11,7 @@ type countingBloom struct {
 }
 
 func newCountingBloom(m, k int, salt uint64) *countingBloom {
-	return &countingBloom{counters: make([]uint32, m), hashes: k, salt: salt}
+	return &countingBloom{counters: make([]uint32, m), hashes: k, salt: salt} //shadowvet:ignore allocflow -- first-touch filter build, warm before steady state
 }
 
 func (f *countingBloom) index(key uint64, i int) int {
@@ -60,7 +60,7 @@ type DualCBF struct {
 
 // NewDualCBF builds a dual filter with m counters and k hashes per filter.
 func NewDualCBF(m, k int, salt uint64) *DualCBF {
-	return &DualCBF{filters: [2]*countingBloom{
+	return &DualCBF{filters: [2]*countingBloom{ //shadowvet:ignore allocflow -- first-touch filter build, warm before steady state
 		newCountingBloom(m, k, salt),
 		newCountingBloom(m, k, salt^0xABCDEF),
 	}}

