@@ -30,19 +30,21 @@ lint:
 fmt:
 	gofmt -w cmd internal examples ./*.go
 
-# One pass over every benchmark as a smoke test, plus a machine-readable
+# Three passes over every benchmark as a smoke test, plus a machine-readable
 # report ($(BENCH_OUT)): shadowbench echoes the benchmark output through
 # and appends headline per-scheme simulation stats with the shadowtap blame
 # split. -benchmem feeds allocs/op into the report so the zero-alloc hot
-# path is pinned by data, not just by the regression tests. Each run also
+# path is pinned by data, not just by the regression tests. -benchtime 3x keeps the
+# single-iteration noise of the heavyweight BenchmarkSim lanes out of the
+# trajectory (ns/op is still the per-iteration average). Each run also
 # appends one line to BENCH_history.jsonl (git rev + every benchmark), the
 # trajectory scripts/check.sh warns against. Set BENCH_BEFORE=<prior
 # report.json> to embed before/after comparisons (speedup, alloc reduction)
 # against an earlier run. For real measurements run with -count=10 and
 # compare with benchstat (see README "Observability & profiling").
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr10.json
 bench:
-	go test -bench . -benchmem -benchtime 1x -run '^$$' ./... | \
+	go test -bench . -benchmem -benchtime 3x -run '^$$' ./... | \
 		go run ./cmd/shadowbench -o $(BENCH_OUT) $(if $(BENCH_BEFORE),-before $(BENCH_BEFORE))
 
 verify:

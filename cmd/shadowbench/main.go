@@ -93,18 +93,34 @@ type benchCompare struct {
 }
 
 // telemetryOverhead quantifies, per scheme, the cost of observation over the
-// bare event-driven scheduler (BenchmarkSim/<scheme>/event): the always-on
-// lane (/flight: metrics probe + flight ring) and full observation (/probed:
-// metrics + spans). Overhead percentages are (mode-event)/event*100; the
-// flight lane is the one held to the ≤25% budget.
+// bare scheduler: the always-on lane (/flight: metrics probe + flight ring)
+// and full observation (/probed: metrics + spans). The baseline is the
+// unobserved mode running the SAME scheduler as the telemetry lanes —
+// /timeskip (the event wheel) when present, /event for pre-wheel reports —
+// so the percentages isolate observation cost from scheduler speedup.
+// Overhead percentages are (mode-base)/base*100; the flight lane is the one
+// held to the ≤25% budget.
 type telemetryOverhead struct {
 	Scheme       string  `json:"scheme"`
-	EventNs      float64 `json:"event_ns_per_op"`
+	Baseline     string  `json:"baseline_mode"`
+	BaselineNs   float64 `json:"baseline_ns_per_op"`
 	FlightNs     float64 `json:"flight_ns_per_op,omitempty"`
 	FlightPct    float64 `json:"flight_overhead_pct"`
 	FlightAllocs float64 `json:"flight_allocs_per_op"`
 	ProbedNs     float64 `json:"probed_ns_per_op,omitempty"`
 	ProbedPct    float64 `json:"probed_overhead_pct"`
+}
+
+// schedulerSpeedup records, per BenchmarkSim lane, the event wheel's ns/op
+// against the two per-tick schedulers it replaces: /event (readiness cache,
+// per-tick outer loop) and /rescan (full-rescan double oracle).
+type schedulerSpeedup struct {
+	Lane       string  `json:"lane"`
+	TimeskipNs float64 `json:"timeskip_ns_per_op"`
+	EventNs    float64 `json:"event_ns_per_op,omitempty"`
+	VsEvent    float64 `json:"speedup_vs_event,omitempty"`
+	RescanNs   float64 `json:"rescan_ns_per_op,omitempty"`
+	VsRescan   float64 `json:"speedup_vs_rescan,omitempty"`
 }
 
 type benchReport struct {
@@ -113,9 +129,10 @@ type benchReport struct {
 	// report to measure against.
 	Before  []benchResult  `json:"before_benchmarks,omitempty"`
 	Compare []benchCompare `json:"compare,omitempty"`
-	// TelemetryOverhead is derived from the BenchmarkSim mode matrix when
-	// the event-mode baselines are present in this run.
+	// TelemetryOverhead and SchedulerSpeedup are derived from the
+	// BenchmarkSim mode matrix when its lanes are present in this run.
 	TelemetryOverhead []telemetryOverhead `json:"telemetry_overhead,omitempty"`
+	SchedulerSpeedup  []schedulerSpeedup  `json:"scheduler_speedup,omitempty"`
 	Sims              []simResult         `json:"sims"`
 }
 
@@ -143,6 +160,7 @@ func main() {
 
 	rep := benchReport{Benchmarks: benches, Sims: []simResult{}}
 	rep.TelemetryOverhead = telemetrySection(benches)
+	rep.SchedulerSpeedup = speedupSection(benches)
 	if *before != "" {
 		prior, err := loadReport(*before)
 		exitOn(err)
@@ -165,8 +183,12 @@ func main() {
 			len(rep.Benchmarks), len(rep.Sims), *out)
 	}
 	for _, to := range rep.TelemetryOverhead {
-		fmt.Fprintf(os.Stderr, "shadowbench: telemetry overhead %s: flight %+.1f%% (%.0f allocs/op), probed %+.1f%%\n",
-			to.Scheme, to.FlightPct, to.FlightAllocs, to.ProbedPct)
+		fmt.Fprintf(os.Stderr, "shadowbench: telemetry overhead %s (vs %s): flight %+.1f%% (%.0f allocs/op), probed %+.1f%%\n",
+			to.Scheme, to.Baseline, to.FlightPct, to.FlightAllocs, to.ProbedPct)
+	}
+	for _, sp := range rep.SchedulerSpeedup {
+		fmt.Fprintf(os.Stderr, "shadowbench: wheel speedup %s: %.2fx vs event, %.2fx vs rescan\n",
+			sp.Lane, sp.VsEvent, sp.VsRescan)
 	}
 
 	if *history != "" {
@@ -188,54 +210,93 @@ func main() {
 	}
 }
 
-// telemetrySection derives the per-scheme observation-cost table from the
-// BenchmarkSim mode matrix (names like BenchmarkSim/shadow/event).
-func telemetrySection(benches []benchResult) []telemetryOverhead {
-	mode := func(name string) (scheme, m string, ok bool) {
-		rest, found := strings.CutPrefix(name, "BenchmarkSim/")
-		if !found {
-			return "", "", false
-		}
-		scheme, m, found = strings.Cut(rest, "/")
-		return scheme, m, found
-	}
-	type cell struct{ ns, allocs float64 }
-	cells := map[string]map[string]cell{}
+// simCell is one parsed point of the BenchmarkSim <lane>/<mode> matrix.
+type simCell struct{ ns, allocs float64 }
+
+// simMatrix groups BenchmarkSim results by lane then mode (names like
+// BenchmarkSim/shadow/event), returning the matrix and its sorted lanes.
+func simMatrix(benches []benchResult) (map[string]map[string]simCell, []string) {
+	cells := map[string]map[string]simCell{}
 	for _, b := range benches {
-		scheme, m, ok := mode(b.Name)
-		if !ok {
+		rest, found := strings.CutPrefix(b.Name, "BenchmarkSim/")
+		if !found {
 			continue
 		}
-		if cells[scheme] == nil {
-			cells[scheme] = map[string]cell{}
+		lane, m, found := strings.Cut(rest, "/")
+		if !found {
+			continue
 		}
-		cells[scheme][m] = cell{ns: b.NsPerOp, allocs: b.Metrics["allocs/op"]}
+		if cells[lane] == nil {
+			cells[lane] = map[string]simCell{}
+		}
+		cells[lane][m] = simCell{ns: b.NsPerOp, allocs: b.Metrics["allocs/op"]}
 	}
-	schemes := make([]string, 0, len(cells))
+	lanes := make([]string, 0, len(cells))
 	for s := range cells {
-		schemes = append(schemes, s)
+		lanes = append(lanes, s)
 	}
-	sort.Strings(schemes)
+	sort.Strings(lanes)
+	return cells, lanes
+}
+
+// telemetrySection derives the per-scheme observation-cost table from the
+// BenchmarkSim mode matrix.
+func telemetrySection(benches []benchResult) []telemetryOverhead {
+	cells, schemes := simMatrix(benches)
 	var out []telemetryOverhead
 	for _, s := range schemes {
-		event, ok := cells[s]["event"]
-		if !ok || event.ns <= 0 {
+		// The flight/probed lanes run the shipped scheduler, so the bare
+		// baseline is /timeskip; /event is the pre-wheel fallback name.
+		baseMode := "timeskip"
+		base, ok := cells[s][baseMode]
+		if !ok {
+			baseMode = "event"
+			base, ok = cells[s][baseMode]
+		}
+		if !ok || base.ns <= 0 {
 			continue
 		}
-		to := telemetryOverhead{Scheme: s, EventNs: event.ns}
+		to := telemetryOverhead{Scheme: s, Baseline: baseMode, BaselineNs: base.ns}
 		if fl, ok := cells[s]["flight"]; ok {
 			to.FlightNs = fl.ns
-			to.FlightPct = (fl.ns - event.ns) / event.ns * 100
+			to.FlightPct = (fl.ns - base.ns) / base.ns * 100
 			to.FlightAllocs = fl.allocs
 		}
 		if pr, ok := cells[s]["probed"]; ok {
 			to.ProbedNs = pr.ns
-			to.ProbedPct = (pr.ns - event.ns) / event.ns * 100
+			to.ProbedPct = (pr.ns - base.ns) / base.ns * 100
 		}
 		if to.FlightNs == 0 && to.ProbedNs == 0 {
 			continue
 		}
 		out = append(out, to)
+	}
+	return out
+}
+
+// speedupSection derives the per-lane event-wheel speedup table from the
+// BenchmarkSim mode matrix. Lanes without a /timeskip cell are skipped.
+func speedupSection(benches []benchResult) []schedulerSpeedup {
+	cells, lanes := simMatrix(benches)
+	var out []schedulerSpeedup
+	for _, lane := range lanes {
+		ts, ok := cells[lane]["timeskip"]
+		if !ok || ts.ns <= 0 {
+			continue
+		}
+		sp := schedulerSpeedup{Lane: lane, TimeskipNs: ts.ns}
+		if ev, ok := cells[lane]["event"]; ok && ev.ns > 0 {
+			sp.EventNs = ev.ns
+			sp.VsEvent = ev.ns / ts.ns
+		}
+		if rs, ok := cells[lane]["rescan"]; ok && rs.ns > 0 {
+			sp.RescanNs = rs.ns
+			sp.VsRescan = rs.ns / ts.ns
+		}
+		if sp.EventNs == 0 && sp.RescanNs == 0 {
+			continue
+		}
+		out = append(out, sp)
 	}
 	return out
 }

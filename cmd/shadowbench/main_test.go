@@ -148,3 +148,53 @@ func TestLoadAgainstHistoryTail(t *testing.T) {
 		t.Fatalf("loadAgainst = %+v, want the tail entry", benches)
 	}
 }
+
+func TestTelemetrySectionBaselinesOnTimeskip(t *testing.T) {
+	benches := []benchResult{
+		{Name: "BenchmarkSim/shadow/timeskip", NsPerOp: 100},
+		{Name: "BenchmarkSim/shadow/event", NsPerOp: 140},
+		{Name: "BenchmarkSim/shadow/flight", NsPerOp: 110, Metrics: map[string]float64{"allocs/op": 7}},
+		{Name: "BenchmarkSim/shadow/probed", NsPerOp: 150},
+		// A pre-wheel report shape: no /timeskip cell, baseline falls back
+		// to /event.
+		{Name: "BenchmarkSim/para/event", NsPerOp: 200},
+		{Name: "BenchmarkSim/para/flight", NsPerOp: 250},
+	}
+	out := telemetrySection(benches)
+	if len(out) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(out), out)
+	}
+	para, shadow := out[0], out[1]
+	if shadow.Baseline != "timeskip" || shadow.BaselineNs != 100 {
+		t.Errorf("shadow baseline = %s/%v, want timeskip/100", shadow.Baseline, shadow.BaselineNs)
+	}
+	if shadow.FlightPct != 10 || shadow.ProbedPct != 50 {
+		t.Errorf("shadow overhead = flight %+v probed %+v, want +10/+50", shadow.FlightPct, shadow.ProbedPct)
+	}
+	if shadow.FlightAllocs != 7 {
+		t.Errorf("shadow flight allocs = %v, want 7", shadow.FlightAllocs)
+	}
+	if para.Baseline != "event" || para.FlightPct != 25 {
+		t.Errorf("para baseline = %s flight %+v, want event/+25", para.Baseline, para.FlightPct)
+	}
+}
+
+func TestSpeedupSection(t *testing.T) {
+	benches := []benchResult{
+		{Name: "BenchmarkSim/mix-low/timeskip", NsPerOp: 100},
+		{Name: "BenchmarkSim/mix-low/event", NsPerOp: 130},
+		{Name: "BenchmarkSim/mix-low/rescan", NsPerOp: 150},
+		// No timeskip cell: lane skipped.
+		{Name: "BenchmarkSim/para/event", NsPerOp: 200},
+		// Timeskip but no per-tick cells: lane skipped.
+		{Name: "BenchmarkSim/drr/timeskip", NsPerOp: 50},
+	}
+	out := speedupSection(benches)
+	if len(out) != 1 {
+		t.Fatalf("got %d rows, want 1: %+v", len(out), out)
+	}
+	sp := out[0]
+	if sp.Lane != "mix-low" || sp.VsEvent != 1.3 || sp.VsRescan != 1.5 {
+		t.Errorf("got %+v, want mix-low 1.3x/1.5x", sp)
+	}
+}

@@ -57,6 +57,7 @@ func main() {
 	flightOut := flag.String("flight-out", "", "write the flight-recorder dump to this JSON file at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	pertick := flag.Bool("pertick", false, "use the per-tick scheduler instead of the event wheel (bit-identical results, differential baseline)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -79,11 +80,12 @@ func main() {
 	}
 
 	o := exp.RunOpts{
-		Duration: timing.Tick(*durationUS) * timing.Microsecond,
-		Warmup:   timing.Tick(*warmupUS) * timing.Microsecond,
-		Cores:    *cores,
-		Seed:     *seed,
-		Workers:  *workers,
+		Duration:   timing.Tick(*durationUS) * timing.Microsecond,
+		Warmup:     timing.Tick(*warmupUS) * timing.Microsecond,
+		Cores:      *cores,
+		Seed:       *seed,
+		Workers:    *workers,
+		NoTimeSkip: *pertick,
 	}
 	// Flight recording is opt-in here (unlike shadowsim): attaching probes
 	// forces the point sweep sequential, so the default stays parallel.

@@ -23,6 +23,16 @@ var allocRoots = map[string]string{
 	"sim.runner.tick": "the per-tick simulator event loop",
 	// The memory controller's scheduling step, called from tick until quiescent.
 	"memctrl.Controller.Step": "the controller scheduling step",
+	// The tick-skipping event wheel (PR 10). All of these already sit inside
+	// tick's call tree, but they are registered as roots of their own so the
+	// zero-alloc contract names them directly and survives refactors of the
+	// tick dispatch.
+	"sim.runner.advance":               "the event-wheel time advance",
+	"sim.runner.stepSelected":          "the event-wheel channel step round",
+	"memctrl.Controller.NextReadyAt":   "the channel readiness lower bound",
+	"dram.Device.NextDeadline":         "the device deadline scan",
+	"dram.Bank.NextDeadline":           "the bank deadline probe",
+	"mitigate.BlockHammer.NextEventAt": "the BlockHammer epoch-boundary bound",
 	// The indexed min-heap fronting the per-bank readiness cache; every op
 	// runs inside Step's selection pass.
 	"minq.Queue.Set":      "the readiness-cache heap update",

@@ -56,7 +56,7 @@ var layerImports = map[string][]string{
 	"power":    {"dram", "memctrl", "timing"},
 
 	// The simulator and the experiment layers on top.
-	"sim": {"circuit", "dram", "hammer", "memctrl", "memsys", "mitigate",
+	"sim": {"circuit", "dram", "hammer", "memctrl", "memsys", "minq", "mitigate",
 		"obs", "obs/span", "rng", "shadow", "timing", "trace"},
 	"security": {"dram", "hammer", "mitigate", "rng", "shadow", "sim", "timing", "trace"},
 	"exp": {"circuit", "dram", "hammer", "memctrl", "mitigate", "obs", "obs/flight",

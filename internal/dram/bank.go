@@ -246,6 +246,20 @@ func (b *Bank) setBusy(until timing.Tick) {
 // BusyUntil reports when the current REF/RFM completes.
 func (b *Bank) BusyUntil() timing.Tick { return b.busyUntil }
 
+// NextDeadline returns the end of the bank's current REF/REFsb/RFM busy
+// window — the next device-side instant at which this bank's schedulability
+// changes on its own — or timing.Forever when no window is open. The event
+// wheel does not fold it into its jump bound (a busy-window end is only
+// actionable through a queued request, which the readiness cache already
+// bounds; see Device.NextDeadline); it is a pure query for tooling and
+// tests.
+func (b *Bank) NextDeadline(now timing.Tick) timing.Tick {
+	if b.busyUntil > now {
+		return b.busyUntil
+	}
+	return timing.Forever
+}
+
 // AutoRefresh refreshes the next n DA rows in refresh-pointer order,
 // restoring their charge. Called by the device for each REF command.
 func (b *Bank) AutoRefresh(n int, now timing.Tick, busy timing.Tick) error {

@@ -25,6 +25,12 @@ type Mitigator interface {
 	// OnRFM performs the scheme's mitigating action for an RFM command on
 	// bank b. The bank is precharged and will be held busy for tRFM.
 	OnRFM(b *Bank, now timing.Tick)
+	// NextEventAt returns the earliest future instant at which the scheme
+	// could act on its own schedule rather than in response to a command
+	// (timing.Forever when it has no autonomous timer). The event wheel
+	// folds this into its jump bound; returning a too-early time costs an
+	// extra no-op wakeup, never correctness.
+	NextEventAt(now timing.Tick) timing.Tick
 }
 
 // Identity is the unprotected device's translation: PA row i lives at
@@ -44,6 +50,9 @@ func (Identity) OnACT(*Bank, int, int, int, timing.Tick) {}
 
 // OnRFM implements Mitigator.
 func (Identity) OnRFM(*Bank, timing.Tick) {}
+
+// NextEventAt implements Mitigator: an unprotected device has no timers.
+func (Identity) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }
 
 // FlipRecord is a bit flip observed anywhere in the device.
 type FlipRecord struct {
@@ -188,6 +197,19 @@ func (d *Device) Bank(i int) *Bank { return d.banks[i] }
 
 // Banks returns the number of banks.
 func (d *Device) Banks() int { return len(d.banks) }
+
+// NextDeadline returns the earliest future device-side deadline: the
+// installed mitigator's next autonomous timer, timing.Forever when it has
+// none. Per-bank busy windows (Bank.NextDeadline) are deliberately NOT
+// folded in: a bank finishing its REF/RFM is only actionable if a request
+// waits on it, and that request's bank already has a (sound, lower-bound)
+// key in the controller's readiness cache — adding the busy horizon here
+// would wake the wheel at every staggered per-bank refresh completion and
+// cost an O(banks) scan per quiescent bound. The event wheel folds this
+// into its jump bound; it is a pure query.
+func (d *Device) NextDeadline(now timing.Tick) timing.Tick {
+	return d.mit.NextEventAt(now)
+}
 
 // RowsPerREF returns how many rows each bank refreshes per REF command.
 func (d *Device) RowsPerREF() int { return d.refRowsPerREF }

@@ -239,6 +239,10 @@ type RunOpts struct {
 	// scheduler (see sim.Config.FullRescan): the scheduler-overhead baseline
 	// for BenchmarkSim and the equivalence tests.
 	FullRescan bool
+	// NoTimeSkip runs every simulation with the per-tick scheduler loop
+	// instead of the tick-skipping event wheel (see sim.Config.NoTimeSkip):
+	// the wall-clock baseline for BenchmarkSim and the equivalence tests.
+	NoTimeSkip bool
 
 	// Fleet hooks (shadowfleet, internal/obs/fleet). Unlike ProbeFor /
 	// SpansFor / Progress these do NOT force Workers=1: the fleet collector
@@ -358,6 +362,7 @@ func runPoint(pt Point, profiles []trace.Profile, o RunOpts) (float64, *sim.Resu
 		OnCommand: onCommand,
 
 		FullRescan: o.FullRescan,
+		NoTimeSkip: o.NoTimeSkip,
 	})
 	if err != nil {
 		return 0, nil, err
@@ -422,7 +427,7 @@ var (
 )
 
 func baselineRun(grade timing.Grade, profiles []trace.Profile, geo dram.Geometry, o RunOpts) (*sim.Result, error) {
-	key := fmt.Sprintf("%v/%d/%d/%d/%d/%d/%v", grade, o.Duration, o.Warmup, o.Cores, o.Seed, o.Subarrays, o.FullRescan)
+	key := fmt.Sprintf("%v/%d/%d/%d/%d/%d/%v/%v", grade, o.Duration, o.Warmup, o.Cores, o.Seed, o.Subarrays, o.FullRescan, o.NoTimeSkip)
 	for _, p := range profiles {
 		key += "," + p.Name
 	}
@@ -440,6 +445,7 @@ func baselineRun(grade timing.Grade, profiles []trace.Profile, geo dram.Geometry
 		Warmup:   o.Warmup,
 
 		FullRescan: o.FullRescan,
+		NoTimeSkip: o.NoTimeSkip,
 	})
 	if err != nil {
 		return nil, err

@@ -185,6 +185,7 @@ type Controller struct {
 	scan      []int
 	bankNext  []timing.Tick
 	vol       []bool
+	volCount  int // number of banks currently in the volatile set
 	throttled []bool
 
 	nextRefreshAt timing.Tick
@@ -394,6 +395,18 @@ func (c *Controller) stepRescan(now, next timing.Tick) timing.Tick {
 // which command issues when several are legal at the same tick — matches
 // stepRescan exactly.
 func (c *Controller) stepEvent(now, next timing.Tick) timing.Tick {
+	// Fast path: with no volatile banks and no cached readiness due, the scan
+	// set below would be empty and every phase loop a no-op — return the
+	// cached minimum directly. This is exactly what the slow path computes for
+	// an empty scan, at O(1) instead of O(banks).
+	if c.volCount == 0 {
+		if _, key, ok := c.ready.Min(); !ok || key > now {
+			if ok {
+				next = minTick(next, key)
+			}
+			return next
+		}
+	}
 	// Select the scan set in one index-order pass: volatile banks plus every
 	// bank whose cached readiness has arrived (Key is O(1)). Selected banks
 	// stay in the queue while they are evaluated — re-keying in place costs
@@ -480,6 +493,40 @@ func (c *Controller) issuedDuringScan(now timing.Tick, keep int) timing.Tick {
 	return c.afterCmd(now)
 }
 
+// Volatile reports whether this channel must be stepped at every runner
+// wakeup: full-rescan mode (the per-Step evaluation itself is the oracle) or
+// any bank in the volatile set (throttle-bound ACTs and span-tracked non-idle
+// banks are re-evaluated every Step, so the set of Step instants is
+// observable). The event wheel clamps its jump to the per-tick cadence while
+// any channel is volatile — see sim's wheel scheduler and DESIGN.md §10.
+func (c *Controller) Volatile() bool {
+	return c.ready == nil || c.volCount > 0
+}
+
+// NextReadyAt returns a sound lower bound on the next instant this channel
+// can issue a command or otherwise change observable state, assuming no new
+// requests arrive: the earliest of the refresh deadline, the cached per-bank
+// readiness minimum, the device's busy-window deadlines, and the mitigation
+// timers on both sides of the channel — gated by the command-bus and
+// swap-blocking windows, before which nothing can issue. Volatile channels
+// return now (the caller must keep stepping them); a bound <= now likewise
+// means "due now" (e.g. mid refresh drain). Between now and the returned
+// bound every Step is a pure no-op, so a wheel that skips those Steps is
+// bit-identical to the per-tick scheduler.
+func (c *Controller) NextReadyAt(now timing.Tick) timing.Tick {
+	if c.Volatile() {
+		return now
+	}
+	next := c.nextRefreshAt
+	if _, key, ok := c.ready.Min(); ok {
+		next = minTick(next, key)
+	}
+	next = minTick(next, c.dev.NextDeadline(now))
+	next = minTick(next, c.mc.NextEventAt(now))
+	next = maxTick(next, c.cmdBusFreeAt)
+	return maxTick(next, c.blockedUntil)
+}
+
 // dirty marks a bank's cached readiness stale as of time at. Called on every
 // event that can LOWER the bank's earliest-actionable time: a request enqueue
 // and any command issued on the bank (ACT/PRE/RD/WR/RFM/REFsb — command issue
@@ -527,7 +574,10 @@ func (c *Controller) updateVolatility(i int) {
 	}
 	c.vol[i] = wantVol
 	if wantVol {
+		c.volCount++
 		c.ready.Remove(i)
+	} else {
+		c.volCount--
 	}
 }
 

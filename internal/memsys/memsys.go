@@ -65,6 +65,15 @@ func (s *System) Enqueue(r *memctrl.Request) bool {
 	return s.channels[ch].Enqueue(r)
 }
 
+// EnqueueCh routes and enqueues like Enqueue and additionally reports which
+// channel the request landed on, so the event wheel can mark that channel
+// due without sweeping all of them.
+func (s *System) EnqueueCh(r *memctrl.Request) (ok bool, ch int) {
+	ch, bank := s.Route(r.Bank)
+	r.Bank = bank
+	return s.channels[ch].Enqueue(r), ch
+}
+
 // Step runs every channel that can act at `now` and returns the earliest
 // future instant any channel could act. Like Controller.Step, a return value
 // equal to now means call again.

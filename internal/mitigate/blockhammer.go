@@ -24,6 +24,9 @@ type BlockHammer struct {
 	thDelay     timing.Tick
 
 	banks map[int]*bhBank
+	// throttleRows counts blacklisted rows across all banks (lastACT entries);
+	// maintained incrementally so NextEventAt needs no map iteration.
+	throttleRows int
 
 	probe          *obs.Probe
 	throttleSeries *obs.Series
@@ -131,6 +134,7 @@ func (bh *BlockHammer) rotate(b *bhBank, now timing.Tick) {
 		b.cbf.Rotate()
 		b.epochStart += bh.cfg.REFW / 2
 		// Blacklist status must be re-earned each epoch.
+		bh.throttleRows -= len(b.lastACT)
 		b.lastACT = make(map[int]timing.Tick)
 	}
 }
@@ -153,6 +157,25 @@ func (bh *BlockHammer) ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tic
 	return allowed
 }
 
+// NextEventAt implements MCSide. BlockHammer's only autonomous timer is the
+// epoch rotation, and a rotation is observable only while some row is
+// blacklisted (it clears the lastACT throttle state; filter rotation alone
+// changes nothing until the next ACT consults it, which is its own event).
+// Epochs start at 0 and advance in exact REFW/2 steps, so every bank's
+// boundaries sit on the same global grid.
+func (bh *BlockHammer) NextEventAt(now timing.Tick) timing.Tick {
+	half := bh.cfg.REFW / 2
+	if half <= 0 {
+		return timing.Forever
+	}
+	// Any non-empty blacklist makes the next grid boundary observable; the
+	// incremental count avoids iterating the bank map here.
+	if bh.throttleRows == 0 {
+		return timing.Forever
+	}
+	return (now/half + 1) * half
+}
+
 // OnACT implements MCSide: count the activation.
 func (bh *BlockHammer) OnACT(bank, paRow int, now timing.Tick) *Action {
 	b := bh.bank(bank)
@@ -160,6 +183,9 @@ func (bh *BlockHammer) OnACT(bank, paRow int, now timing.Tick) *Action {
 	key := rowKey(bank, paRow)
 	b.cbf.Insert(key)
 	if b.cbf.Estimate(key) >= bh.blacklistThreshold() {
+		if _, seen := b.lastACT[paRow]; !seen {
+			bh.throttleRows++
+		}
 		b.lastACT[paRow] = now
 		bh.Blacklisted++
 		if bh.probe != nil {

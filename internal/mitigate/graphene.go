@@ -67,6 +67,10 @@ func (g *Graphene) TranslateRow(bank, paRow int) int { return paRow }
 // ACTAllowedAt implements MCSide (no throttling).
 func (g *Graphene) ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tick { return now }
 
+// NextEventAt implements MCSide: Graphene acts only in response to ACTs (its
+// counter reset rides on the REF schedule the controller already anchors).
+func (g *Graphene) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }
+
 func (g *Graphene) bank(id int) *grapheneBank {
 	b, ok := g.banks[id]
 	if !ok {

@@ -67,6 +67,10 @@ func (m *Mithril) OnACT(b *dram.Bank, paRow, sub, da int, now timing.Tick) {
 	m.tracker(b.ID()).Observe(paRow)
 }
 
+// NextEventAt implements dram.Mitigator: Mithril acts only inside RFM
+// windows, whose cadence the controller's RAA counters already drive.
+func (m *Mithril) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }
+
 // OnRFM implements dram.Mitigator: TRR the victims of the hottest row.
 func (m *Mithril) OnRFM(b *dram.Bank, now timing.Tick) {
 	t := m.tracker(b.ID())

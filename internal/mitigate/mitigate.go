@@ -58,6 +58,12 @@ type MCSide interface {
 	ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tick
 	// OnACT observes an issued ACT and may demand mitigating work.
 	OnACT(bank, paRow int, now timing.Tick) *Action
+	// NextEventAt returns the earliest future instant at which the policy
+	// could act on its own schedule rather than in response to a command
+	// (BlockHammer's epoch rotation; timing.Forever when there is no
+	// autonomous timer). The event wheel folds this into its jump bound; a
+	// too-early time costs an extra no-op wakeup, never correctness.
+	NextEventAt(now timing.Tick) timing.Tick
 }
 
 // NopMCSide is the no-op MC-side policy used with DRAM-side schemes.
@@ -74,3 +80,6 @@ func (NopMCSide) ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tick { re
 
 // OnACT implements MCSide.
 func (NopMCSide) OnACT(bank, paRow int, now timing.Tick) *Action { return nil }
+
+// NextEventAt implements MCSide: no timers.
+func (NopMCSide) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }

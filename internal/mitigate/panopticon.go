@@ -92,6 +92,10 @@ func (pn *Panopticon) OnACT(b *dram.Bank, paRow, sub, da int, now timing.Tick) {
 	c[da] = 0
 }
 
+// NextEventAt implements dram.Mitigator: Panopticon's counters move only on
+// ACTs and its queued refreshes drain inside RFM windows.
+func (pn *Panopticon) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }
+
 // OnRFM implements dram.Mitigator: drain the queued refreshes.
 func (pn *Panopticon) OnRFM(b *dram.Bank, now timing.Tick) {
 	q := pn.pending[b.ID()]

@@ -50,6 +50,9 @@ func (pa *PARA) TranslateRow(bank, paRow int) int { return paRow }
 // ACTAllowedAt implements MCSide (no throttling).
 func (pa *PARA) ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tick { return now }
 
+// NextEventAt implements MCSide: PARA is stateless and purely reactive.
+func (pa *PARA) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }
+
 // OnACT implements MCSide: flip the coin, refresh one victim.
 func (pa *PARA) OnACT(bank, paRow int, now timing.Tick) *Action {
 	if rng.Float64(pa.src) >= pa.p {

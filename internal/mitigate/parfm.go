@@ -71,6 +71,9 @@ func (m *PARFM) OnACT(b *dram.Bank, paRow, sub, da int, now timing.Tick) {
 	}
 }
 
+// NextEventAt implements dram.Mitigator: PARFM acts only inside RFM windows.
+func (m *PARFM) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }
+
 // OnRFM implements dram.Mitigator: TRR the sampled row's victims.
 func (m *PARFM) OnRFM(b *dram.Bank, now timing.Tick) {
 	id := b.ID()

@@ -88,6 +88,10 @@ func (r *RRS) TranslateRow(bank, paRow int) int {
 // ACTAllowedAt implements MCSide (RRS does not throttle).
 func (r *RRS) ACTAllowedAt(bank, paRow int, now timing.Tick) timing.Tick { return now }
 
+// NextEventAt implements MCSide: RRS swaps are triggered by ACT counts, and
+// an in-flight swap already blocks the channel until its end.
+func (r *RRS) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }
+
 // OnACT implements MCSide: count the *physical* row (aggression follows the
 // physical location) and trigger a swap at the threshold. The returned
 // request names physical rows; the MC moves the data and stalls the channel.

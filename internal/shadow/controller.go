@@ -179,6 +179,11 @@ func (c *Controller) OnACT(b *dram.Bank, paRow, sub, da int, now timing.Tick) {
 	st.recent[int(c.Stats.SampledACTs)%len(st.recent)] = paRow
 }
 
+// NextEventAt implements dram.Mitigator: SHADOW's shuffles happen strictly
+// inside the RFM windows the controller's RAA counters schedule; the scheme
+// has no timer of its own.
+func (c *Controller) NextEventAt(timing.Tick) timing.Tick { return timing.Forever }
+
 // OnRFM implements dram.Mitigator: perform the incremental refresh and the
 // row-shuffle of Section IV within tRFM (the device holds the bank busy; the
 // remapping-row update in the paired subarray is fully hidden behind the

@@ -34,6 +34,10 @@ type AttackConfig struct {
 	// FullRescan runs the controller with the pre-event-driven full-rescan
 	// scheduler (see memctrl.Options.FullRescan); equivalence testing only.
 	FullRescan bool
+	// NoTimeSkip disables the event-wheel fast path that skips controller
+	// Steps at instants where the cached readiness bound proves the channel
+	// cannot act; equivalence testing only.
+	NoTimeSkip bool
 }
 
 // AttackResult reports the outcome.
@@ -90,6 +94,12 @@ func RunAttack(cfg AttackConfig, pat trace.Pattern) (*AttackResult, error) {
 
 	res := &AttackResult{Device: dev}
 	now := timing.Tick(0)
+	// Event-wheel state: ctlNext is a sound lower bound on the controller's
+	// next possible action; dirty forces a Step after an enqueue. When the
+	// bound proves the controller quiescent at a wakeup (we woke early only
+	// to check cur.Done), the Step call is skipped entirely.
+	ctlNext := timing.Tick(0)
+	dirty := true
 	for now < cfg.Duration {
 		if cur == nil || cur.Done > 0 {
 			if cur != nil && cur.Done > now {
@@ -108,13 +118,30 @@ func RunAttack(cfg AttackConfig, pat trace.Pattern) (*AttackResult, error) {
 				return nil, fmt.Errorf("sim: attack enqueue failed")
 			}
 			res.Acts++
+			dirty = true
 		}
-		next := mc.Step(now)
-		if next <= now {
-			continue
+		if cfg.NoTimeSkip || dirty || ctlNext <= now || mc.Volatile() {
+			pend := mc.Step(now)
+			dirty = false
+			if pend <= now {
+				continue
+			}
+			ctlNext = pend
+			if !cfg.NoTimeSkip && !mc.Volatile() {
+				// As in the trace runner, fold the raw Step return with the
+				// cached-state bound: their max is still sound and skips
+				// post-command bus-echo wakeups the raw return would force.
+				if b := mc.NextReadyAt(now); b > ctlNext {
+					ctlNext = b
+				}
+			}
 		}
+		next := ctlNext
 		if cur != nil && cur.Done > 0 && cur.Done < next {
 			next = cur.Done
+		}
+		if next <= now {
+			next = now + cfg.Params.TCK
 		}
 		now = next
 	}

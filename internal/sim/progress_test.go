@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"shadow/internal/timing"
+)
+
+// TestProgressCatchUpIsAnchored pins the O(1) heartbeat re-arm: when the
+// event wheel jumps simulated time across many progress intervals at once
+// (an idle stretch), noteProgress must fire exactly one callback and re-arm
+// on the first cadence multiple past now — not replay every skipped
+// interval, and not drift off the cadence grid.
+func TestProgressCatchUpIsAnchored(t *testing.T) {
+	const every = timing.Tick(100)
+	var fired []timing.Tick
+	r := &runner{
+		cfg:       &Config{Progress: func(now timing.Tick) { fired = append(fired, now) }},
+		progEvery: every,
+		nextProg:  every,
+	}
+
+	// One jump past 10k+ cadence intervals.
+	r.now = every*10_000 + 37
+	r.noteProgress()
+	if len(fired) != 1 || fired[0] != r.now {
+		t.Fatalf("jump across 10k intervals fired %v; want exactly one heartbeat at %d", fired, r.now)
+	}
+	if want := every * 10_001; r.nextProg != want {
+		t.Fatalf("re-armed at %d; want the next cadence multiple %d", r.nextProg, want)
+	}
+
+	// Inside the re-armed interval: silent.
+	r.now = every*10_001 - 1
+	r.noteProgress()
+	if len(fired) != 1 {
+		t.Fatalf("heartbeat fired early at %d (deadline %d)", r.now, r.nextProg)
+	}
+
+	// Exactly on the deadline: fires once and advances one interval.
+	r.now = every * 10_001
+	r.noteProgress()
+	if len(fired) != 2 || fired[1] != r.now {
+		t.Fatalf("deadline heartbeat: fired %v; want a second firing at %d", fired, r.now)
+	}
+	if want := every * 10_002; r.nextProg != want {
+		t.Fatalf("re-armed at %d; want %d", r.nextProg, want)
+	}
+
+	// A second huge jump stays phase-anchored to the same grid.
+	r.now = every*1_000_000 + 1
+	r.noteProgress()
+	if want := every * 1_000_001; r.nextProg != want {
+		t.Fatalf("after second jump re-armed at %d; want grid multiple %d", r.nextProg, want)
+	}
+}

@@ -18,13 +18,21 @@ import (
 	"shadow/internal/trace"
 )
 
-// The event-driven scheduler (per-bank readiness cache + min-queue) must be
-// behaviorally invisible: for every mitigation scheme, every seed, and every
-// observation mode, a run with Config.FullRescan (the pre-optimization
-// scheduler, kept compiled exactly for this test) and a run without it must
-// produce bit-identical statistics, DRAM command streams, flip records, and
-// span blame tables. Any divergence means a cache-invalidation rule is
-// missing and the optimization changed simulated behavior, not just speed.
+// The simulator's two scheduler optimizations must be behaviorally
+// invisible, separately and combined:
+//
+//   - the event-driven controller scheduler (per-bank readiness cache +
+//     min-queue, toggled off by Config.FullRescan), and
+//   - the tick-skipping event wheel (simulated time jumps straight to the
+//     next actionable instant, toggled off by Config.NoTimeSkip).
+//
+// For every mitigation scheme, every seed, and every observation mode, each
+// of the four {event-cache, full-rescan} x {event-wheel, per-tick} variants
+// must produce bit-identical statistics, DRAM command streams, flip records,
+// and span blame tables against the double-oracle (full-rescan + per-tick,
+// both pre-optimization paths kept compiled exactly for this test). Any
+// divergence means a cache-invalidation rule or a readiness lower bound is
+// wrong and an optimization changed simulated behavior, not just speed.
 
 // equivScheme builds one protection configuration. Constructors are funcs so
 // each run gets fresh mitigation state (trackers, CSPRNGs, Bloom filters).
@@ -129,7 +137,20 @@ type equivView struct {
 	Blame    string
 }
 
-func runEquiv(t *testing.T, sc equivScheme, seed uint64, spans, fullRescan bool) equivView {
+// equivVariants is the scheduler matrix: the double-oracle first, then the
+// three optimized combinations that must match it bit for bit.
+var equivVariants = []struct {
+	name       string
+	fullRescan bool
+	noTimeSkip bool
+}{
+	{"rescan+tick", true, true}, // double-oracle
+	{"event+tick", false, true},
+	{"rescan+wheel", true, false},
+	{"event+wheel", false, false},
+}
+
+func runEquiv(t *testing.T, sc equivScheme, seed uint64, spans, fullRescan, noTimeSkip bool) equivView {
 	t.Helper()
 	p := sc.params()
 	g := smallGeo()
@@ -168,6 +189,7 @@ func runEquiv(t *testing.T, sc equivScheme, seed uint64, spans, fullRescan bool)
 			fmt.Fprintf(cmdHash, "%d %d %d %d %d\n", ch, cmd.Kind, cmd.Bank, cmd.Row, cmd.At)
 		},
 		FullRescan: fullRescan,
+		NoTimeSkip: noTimeSkip,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -189,18 +211,21 @@ func runEquiv(t *testing.T, sc equivScheme, seed uint64, spans, fullRescan bool)
 	return v
 }
 
-// TestSchedulerEquivalence is the bit-identity gate for the event-driven
-// scheduler: every scheme, three seeds, statistics + command stream.
+// TestSchedulerEquivalence is the bit-identity gate for the scheduler
+// matrix: every scheme, three seeds, all four scheduler variants,
+// statistics + command stream against the double-oracle.
 func TestSchedulerEquivalence(t *testing.T) {
 	for _, sc := range equivSchemes() {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
 			for _, seed := range []uint64{42, 7, 1234} {
-				old := runEquiv(t, sc, seed, false, true)
-				new_ := runEquiv(t, sc, seed, false, false)
-				if !reflect.DeepEqual(old, new_) {
-					t.Errorf("seed %d: event-driven scheduler diverged from full rescan:\n rescan: %+v\n event:  %+v",
-						seed, old, new_)
+				oracle := runEquiv(t, sc, seed, false, equivVariants[0].fullRescan, equivVariants[0].noTimeSkip)
+				for _, v := range equivVariants[1:] {
+					got := runEquiv(t, sc, seed, false, v.fullRescan, v.noTimeSkip)
+					if !reflect.DeepEqual(oracle, got) {
+						t.Errorf("seed %d: %s diverged from %s:\n oracle: %+v\n got:    %+v",
+							seed, v.name, equivVariants[0].name, oracle, got)
+					}
 				}
 			}
 		})
@@ -216,17 +241,22 @@ func TestSchedulerEquivalenceWithSpans(t *testing.T) {
 	for _, sc := range equivSchemes() {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			old := runEquiv(t, sc, 42, true, true)
-			new_ := runEquiv(t, sc, 42, true, false)
-			if old.Blame == "" || new_.Blame == "" {
+			oracle := runEquiv(t, sc, 42, true, equivVariants[0].fullRescan, equivVariants[0].noTimeSkip)
+			if oracle.Blame == "" {
 				t.Fatal("span run produced no blame table")
 			}
-			if !reflect.DeepEqual(old, new_) {
-				diff := ""
-				if old.Blame != new_.Blame {
-					diff = fmt.Sprintf("\n blame rescan: %s\n blame event:  %s", old.Blame, new_.Blame)
+			for _, v := range equivVariants[1:] {
+				got := runEquiv(t, sc, 42, true, v.fullRescan, v.noTimeSkip)
+				if got.Blame == "" {
+					t.Fatal("span run produced no blame table")
 				}
-				t.Errorf("span-tracked run diverged:\n rescan: %+v\n event:  %+v%s", old, new_, diff)
+				if !reflect.DeepEqual(oracle, got) {
+					diff := ""
+					if oracle.Blame != got.Blame {
+						diff = fmt.Sprintf("\n blame oracle: %s\n blame %s: %s", oracle.Blame, v.name, got.Blame)
+					}
+					t.Errorf("span-tracked %s diverged:\n oracle: %+v\n got:    %+v%s", v.name, oracle, got, diff)
+				}
 			}
 		})
 	}
@@ -259,7 +289,7 @@ func TestSchedulerEquivalenceAttack(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			run := func(fullRescan bool) ([]byte, *AttackResult) {
+			run := func(fullRescan, noTimeSkip bool) ([]byte, *AttackResult) {
 				res, err := RunAttack(AttackConfig{
 					Params:     tc.p,
 					Geometry:   dram.TestGeometry(),
@@ -267,6 +297,7 @@ func TestSchedulerEquivalenceAttack(t *testing.T) {
 					DeviceMit:  tc.dev(),
 					MaxActs:    8192,
 					FullRescan: fullRescan,
+					NoTimeSkip: noTimeSkip,
 				}, tc.pat())
 				if err != nil {
 					t.Fatal(err)
@@ -275,12 +306,14 @@ func TestSchedulerEquivalenceAttack(t *testing.T) {
 					res.Acts, res.Flips, res.Elapsed, res.MC, res.Device.Flips()))
 				return sum, res
 			}
-			oldSum, oldRes := run(true)
-			newSum, _ := run(false)
-			if !bytes.Equal(oldSum, newSum) {
-				t.Errorf("attack run diverged:\n rescan: %s\n event:  %s", oldSum, newSum)
+			oracleSum, oracleRes := run(equivVariants[0].fullRescan, equivVariants[0].noTimeSkip)
+			for _, v := range equivVariants[1:] {
+				gotSum, _ := run(v.fullRescan, v.noTimeSkip)
+				if !bytes.Equal(oracleSum, gotSum) {
+					t.Errorf("attack %s diverged:\n oracle: %s\n got:    %s", v.name, oracleSum, gotSum)
+				}
 			}
-			if oldRes.Acts == 0 {
+			if oracleRes.Acts == 0 {
 				t.Fatal("attack issued no activations; equivalence check is vacuous")
 			}
 		})

@@ -20,6 +20,7 @@ import (
 	"shadow/internal/hammer"
 	"shadow/internal/memctrl"
 	"shadow/internal/memsys"
+	"shadow/internal/minq"
 	"shadow/internal/mitigate"
 	"shadow/internal/obs"
 	"shadow/internal/obs/span"
@@ -95,6 +96,13 @@ type Config struct {
 	// full-rescan scheduler (see memctrl.Options.FullRescan). Exists for the
 	// scheduler-equivalence regression test.
 	FullRescan bool
+	// NoTimeSkip runs the per-tick runner loop — every wakeup steps every
+	// channel and scans every core — instead of the event wheel that skips
+	// quiescent channels and cores and jumps time straight to the next
+	// actionable bound. The per-tick loop is the oracle the wheel is proven
+	// bit-identical against (see TestSchedulerEquivalence and DESIGN.md §10),
+	// exactly as FullRescan preserves the pre-event-driven controller.
+	NoTimeSkip bool
 }
 
 // Result summarizes a run.
@@ -143,6 +151,21 @@ type runner struct {
 	cores   []*core
 	mc      *memsys.System
 	devices []*dram.Device
+
+	// Event-wheel state (see tickWheel; unused under Config.NoTimeSkip).
+	// ctls caches the per-channel controllers so the wheel can step a single
+	// channel. coreq holds every unstalled core keyed by its next issue time;
+	// stalled cores leave the queue and re-enter on retire. ctlNext caches
+	// each channel's advance bound (Controller.NextReadyAt) so quiescent
+	// channels are not stepped at all; chDirty marks channels that received a
+	// request this tick; chPend/chSel/dueCores are per-tick scratch.
+	ctls     []*memctrl.Controller
+	coreq    *minq.Queue
+	dueCores []int
+	ctlNext  []timing.Tick
+	chPend   []timing.Tick
+	chSel    []bool
+	chDirty  []bool
 
 	inflight []completion
 	// nextDone is the earliest completion time in inflight (Forever when
@@ -283,6 +306,16 @@ func newRunner(cfg Config) (*runner, error) {
 	}
 	r.mc = mc
 	r.devices = devices
+	r.ctls = ctls
+	r.coreq = minq.New(len(cores))
+	for i, c := range cores {
+		r.coreq.Set(i, c.nextIssueAt)
+	}
+	r.dueCores = make([]int, 0, len(cores))
+	r.ctlNext = make([]timing.Tick, channels)
+	r.chPend = make([]timing.Tick, channels)
+	r.chSel = make([]bool, channels)
+	r.chDirty = make([]bool, channels)
 
 	r.instSeries = cfg.Probe.Series("sim/insts")
 	r.progEvery = cfg.ProgressEvery
@@ -346,8 +379,23 @@ func Run(cfg Config) (*Result, error) {
 
 // tick runs one iteration of the event loop: retire due completions, let
 // cores issue, drain the controllers at the current instant, and advance to
-// the earliest future event. Allocation-free in steady state.
+// the earliest future event. Allocation-free in steady state. The default
+// path is the event wheel (tickWheel); Config.NoTimeSkip selects the
+// per-tick oracle loop (tickStep) the wheel is proven bit-identical against.
 func (r *runner) tick() {
+	if r.cfg.NoTimeSkip {
+		r.tickStep()
+		return
+	}
+	r.tickWheel()
+}
+
+// tickStep is the per-tick oracle: every wakeup retires, scans every core,
+// and steps every channel, then advances to the minimum of the raw Step
+// returns, the earliest unstalled core, and the earliest completion. Kept
+// verbatim (bar the shared O(1) progress catch-up) as the reference for
+// TestSchedulerEquivalence's wheel axis.
+func (r *runner) tickStep() {
 	cfg := r.cfg
 	now := r.now
 
@@ -443,14 +491,233 @@ func (r *runner) tick() {
 		next = now + cfg.Params.TCK
 	}
 	r.now = next
-	if cfg.Progress != nil && r.now >= r.nextProg {
-		cfg.Progress(r.now) //shadowvet:ignore allocflow -- Progress is an optional throttled UI hook, nil in measured configs and off the per-tick fast path
-		// Anchored catch-up: keep the cadence phase-stable across large
-		// event jumps instead of re-basing on the arrival time.
-		for r.nextProg <= r.now {
-			r.nextProg += r.progEvery
+	r.noteProgress()
+}
+
+// tickWheel is the event-wheel scheduler. It performs the same three phases
+// as tickStep but touches only the state that can act at this instant:
+//
+//   - cores come off an indexed min-queue keyed by next issue time, so a
+//     wakeup costs O(due cores) instead of O(cores);
+//   - a channel is stepped only when it received a request this tick, its
+//     cached bound (Controller.NextReadyAt) has arrived, or it is volatile —
+//     a skipped Step is provably a pure no-op (DESIGN.md §10);
+//   - advance() jumps straight to the minimum cached bound.
+//
+// Volatility clamp: while ANY channel is volatile (throttle-bound ACTs,
+// span-tracked non-idle banks, or full-rescan mode), the set of Step
+// instants is observable, so the wheel steps every channel at every wakeup
+// and advances only on raw Step returns — the exact per-tick behavior.
+func (r *runner) tickWheel() {
+	cfg := r.cfg
+	now := r.now
+
+	// 1. Retire completions due by now (same pass as tickStep); a core that
+	// unstalls re-enters the issue queue at its adjusted issue time.
+	if r.nextDone <= now {
+		nextDone := timing.Forever
+		for i := 0; i < len(r.inflight); {
+			if r.inflight[i].at <= now {
+				c := r.cores[r.inflight[i].core]
+				c.outstanding--
+				if c.stalled {
+					c.stalled = false
+					if c.nextIssueAt < r.inflight[i].at {
+						c.nextIssueAt = r.inflight[i].at
+					}
+					r.coreq.Set(r.inflight[i].core, c.nextIssueAt)
+				}
+				r.inflight[i] = r.inflight[len(r.inflight)-1]
+				r.inflight = r.inflight[:len(r.inflight)-1]
+			} else {
+				if r.inflight[i].at < nextDone {
+					nextDone = r.inflight[i].at
+				}
+				i++
+			}
+		}
+		r.nextDone = nextDone
+	}
+
+	// 2. Pop the due cores and replay them in core-index order — tickStep
+	// scans cores ascending, and bank-queue insertion order (FR-FCFS
+	// tie-break) must match it exactly. The pop loop yields key order, so the
+	// scratch list is insertion-sorted by index (due sets are tiny).
+	due := r.dueCores[:0]
+	for {
+		id, key, ok := r.coreq.Min()
+		if !ok || key > now {
+			break
+		}
+		r.coreq.Remove(id)
+		due = append(due, id) //shadowvet:ignore allocflow -- scratch reused via [:0]; capacity fixed at the core count by newRunner
+	}
+	r.dueCores = due
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j] < due[j-1]; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
 		}
 	}
+	for _, id := range due {
+		c := r.cores[id]
+		for !c.stalled && c.nextIssueAt <= now {
+			if c.outstanding >= cfg.MSHR {
+				c.stalled = true
+				break
+			}
+			req := r.getReq()
+			*req = memctrl.Request{
+				Core:   id,
+				Bank:   c.pending.Bank,
+				Row:    c.pending.Row,
+				Col:    c.pending.Col,
+				Write:  c.pending.Write,
+				Arrive: now,
+			}
+			ok, ch := r.mc.EnqueueCh(req)
+			if !ok {
+				// Bank queue full: retry after a short backoff. A failed
+				// enqueue mutates nothing, so the channel stays clean.
+				r.freeReqs = append(r.freeReqs, req) //shadowvet:ignore allocflow -- slab return: freeReqs capacity came from the pops that emptied it
+				if !c.backoff {
+					c.backoff, c.backoffAt = true, now
+				}
+				c.nextIssueAt = now + cfg.Params.TCK*4
+				break
+			}
+			r.chDirty[ch] = true
+			if c.backoff {
+				req.Span.NoteBackpressure(c.backoffAt)
+				c.backoff = false
+			}
+			c.outstanding++
+			c.fetch(cfg.InstPerNS, now)
+			r.instSeries.Add(now, float64(c.pending.Gap))
+		}
+		if !c.stalled {
+			r.coreq.Set(id, c.nextIssueAt)
+		}
+	}
+
+	// 3. Step the channels that can act: enqueued-into this tick, cached
+	// bound arrived, or volatile. The round structure replicates
+	// memsys.Step's ascending-channel interleaving so multi-channel command
+	// (and completion) order is bit-identical to the per-tick loop; skipped
+	// re-steps of already-quiescent channels within the same instant are
+	// idempotent no-ops.
+	for ch, ctl := range r.ctls {
+		r.chSel[ch] = r.chDirty[ch] || r.ctlNext[ch] <= now || ctl.Volatile()
+		r.chPend[ch] = now
+		r.chDirty[ch] = false
+	}
+	r.stepSelected(now)
+	// Clamp check: if any channel ended this wakeup volatile, the wakeup set
+	// must match the per-tick loop exactly from here on. Step the channels
+	// the selection skipped — still at this same instant, and provably
+	// without effect (their bound had not arrived) — and advance on raw Step
+	// returns alone.
+	clamped := false
+	for _, ctl := range r.ctls {
+		if ctl.Volatile() {
+			clamped = true
+			break
+		}
+	}
+	if clamped {
+		again := false
+		for ch := range r.ctls {
+			if !r.chSel[ch] {
+				r.chSel[ch] = true
+				r.chPend[ch] = now
+				again = true
+			}
+		}
+		if again {
+			r.stepSelected(now)
+		}
+		for ch := range r.ctls {
+			r.ctlNext[ch] = r.chPend[ch]
+		}
+	} else {
+		for ch, ctl := range r.ctls {
+			if !r.chSel[ch] {
+				continue
+			}
+			// The bound is the max of the raw Step return (the per-tick
+			// loop's own advance source — it carries transient bounds like
+			// mid-drain precharge times that the cached-state query cannot
+			// see) and NextReadyAt (which can exceed the Step return by
+			// looking past the post-command bus echo). Both are sound lower
+			// bounds on the channel's next action, so their max is too, and
+			// every wakeup skipped by taking the later one is an instant
+			// where the channel provably could not act.
+			b := ctl.NextReadyAt(now)
+			if r.chPend[ch] > b {
+				b = r.chPend[ch]
+			}
+			r.ctlNext[ch] = b
+		}
+	}
+
+	// 4. Jump to the wheel's bound.
+	r.advance(now)
+}
+
+// stepSelected drains every selected channel to quiescence at now, one
+// ascending-channel pass per round exactly like memsys.Step, leaving each
+// selected channel's raw Step return in chPend.
+func (r *runner) stepSelected(now timing.Tick) {
+	for {
+		again := false
+		for ch, ctl := range r.ctls {
+			if r.chSel[ch] && r.chPend[ch] <= now {
+				r.chPend[ch] = ctl.Step(now)
+				if r.chPend[ch] <= now {
+					again = true
+				}
+			}
+		}
+		if !again {
+			return
+		}
+	}
+}
+
+// advance moves simulated time to the wheel's sound lower bound on the next
+// actionable event: the minimum over per-channel bounds, the earliest
+// unstalled core's issue time, and the earliest outstanding completion. A
+// bound at or before now (volatile channels, refresh drains) clamps the jump
+// to +1 tCK — the wheel degrades to the per-tick cadence, never skips.
+func (r *runner) advance(now timing.Tick) {
+	next := timing.Forever
+	for _, b := range r.ctlNext {
+		if b < next {
+			next = b
+		}
+	}
+	if _, key, ok := r.coreq.Min(); ok && key < next {
+		next = key
+	}
+	if r.nextDone > now && r.nextDone < next {
+		next = r.nextDone
+	}
+	if next <= now {
+		next = now + r.cfg.Params.TCK
+	}
+	r.now = next
+	r.noteProgress()
+}
+
+// noteProgress fires the optional Progress heartbeat and re-arms it with the
+// anchored O(1) catch-up: the next deadline is the first multiple of the
+// cadence past now, keeping the phase stable across arbitrarily large event
+// jumps without iterating the skipped intervals.
+func (r *runner) noteProgress() {
+	if r.cfg.Progress == nil || r.now < r.nextProg {
+		return
+	}
+	r.cfg.Progress(r.now) //shadowvet:ignore allocflow -- Progress is an optional throttled UI hook, nil in measured configs and off the per-tick fast path
+	r.nextProg += ((r.now-r.nextProg)/r.progEvery + 1) * r.progEvery
 }
 
 // getReq pops a recycled Request (the slab bounds live requests at

@@ -102,6 +102,18 @@ func MixHigh(n int) []Profile {
 	return out
 }
 
+// MixLow returns mix-low: n copies drawn cyclically from the spec-low
+// applications. The sub-1-MPKI intensity class leaves the memory system idle
+// for most of the horizon — the workload shape where the tick-skipping event
+// wheel's jumps are largest (BenchmarkSim's mix-low lane).
+func MixLow(n int) []Profile {
+	out := make([]Profile, n)
+	for i := range out {
+		out[i] = SpecLow[i%len(SpecLow)]
+	}
+	return out
+}
+
 // MixBlend returns mix-blend: n applications drawn round-robin across the
 // spec-high, spec-med, and spec-low groups so every blend size mixes all
 // three intensity classes uniformly.

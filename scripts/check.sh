@@ -83,12 +83,13 @@ go test -race ./internal/exp/... ./internal/obs/...
 echo "==> shadowvet (examples)"
 go run ./cmd/shadowvet ./examples/...
 
-# The event-driven scheduler must stay bit-identical to the retained
-# full-rescan reference for every mitigation scheme (Stats, flips, span
+# The scheduler matrix — {event-cache, full-rescan} x {event-wheel,
+# per-tick} — must stay bit-identical to the retained double-oracle
+# (full-rescan + per-tick) for every mitigation scheme (Stats, flips, span
 # blame, command log). The suite runs inside `go test ./...` too; gating it
 # by name keeps the contract visible and the failure mode unambiguous when
-# someone touches the readiness cache.
-echo "==> scheduler equivalence"
+# someone touches the readiness cache or a readiness lower bound.
+echo "==> scheduler equivalence (2x2 matrix)"
 go test -run 'TestSchedulerEquivalence' ./internal/sim/
 
 echo "==> go test -race"
